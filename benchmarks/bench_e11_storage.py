@@ -1,0 +1,24 @@
+"""E11 — index-storage comparison across sparse formats."""
+
+from conftest import save_result
+
+from repro.experiments import e11_storage
+from repro.formats.hicoo import HicooTensor
+from repro.synth.datasets import load_dataset
+
+
+def test_hicoo_build(benchmark, bench_scale):
+    tensor = load_dataset("delicious", scale=bench_scale)
+    h = benchmark(lambda: HicooTensor(tensor, block_size=128))
+    assert h.nnz == tensor.nnz
+
+
+def test_e11_table(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: e11_storage.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    save_result(result, results_dir)
+    obs = result.observations
+    assert obs["max_tree_ratio"] <= obs["log_bound"]
+    # HiCOO must compress below raw COO on the skewed analogs.
+    assert min(obs["hicoo_ratio_by_dataset"].values()) < 1.0

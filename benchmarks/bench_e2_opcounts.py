@@ -1,0 +1,42 @@
+"""E2 — MTTKRP operation counts vs order (motivating figure)."""
+
+from conftest import save_result
+
+from repro.core.engine import MemoizedMttkrp
+from repro.core.cpals import initialize_factors
+from repro.core.strategy import balanced_binary, star
+from repro.experiments import e2_opcounts
+from repro.synth.datasets import load_dataset
+
+
+def _iteration(engine):
+    for n in engine.mode_order:
+        engine.mttkrp(n)
+        engine.update_factor(n, engine.factors[n])
+
+
+def _bench_engine(benchmark, bench_scale, bench_rank, order, strategy_fn):
+    tensor = load_dataset(f"skew{order}d", scale=bench_scale)
+    engine = MemoizedMttkrp(
+        tensor, strategy_fn(order),
+        initialize_factors(tensor, bench_rank, random_state=0),
+    )
+    _iteration(engine)  # steady state
+    benchmark(lambda: _iteration(engine))
+
+
+def test_order6_star_iteration(benchmark, bench_scale, bench_rank):
+    _bench_engine(benchmark, bench_scale, bench_rank, 6, star)
+
+
+def test_order6_bdt_iteration(benchmark, bench_scale, bench_rank):
+    _bench_engine(benchmark, bench_scale, bench_rank, 6, balanced_binary)
+
+
+def test_e2_table(benchmark, bench_scale, bench_rank, results_dir):
+    result = benchmark.pedantic(
+        lambda: e2_opcounts.run(scale=bench_scale, rank=bench_rank),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    assert result.observations["ratio_grows"]

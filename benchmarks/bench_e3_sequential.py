@@ -1,0 +1,46 @@
+"""E3 — sequential per-iteration time: adaptive vs baselines (headline)."""
+
+import pytest
+from conftest import save_result
+
+from repro.baselines import make_backend
+from repro.core.cpals import initialize_factors
+from repro.experiments import e3_sequential
+from repro.synth.datasets import load_dataset
+
+BACKENDS = ["coo", "ttv", "splatt", "memoized:bdt"]
+
+
+def _iteration_fn(tensor, backend_name, rank):
+    backend = make_backend(backend_name, tensor)
+    factors = initialize_factors(tensor, rank, random_state=0)
+    backend.set_factors(factors)
+
+    def one_iteration():
+        for n in backend.mode_order:
+            backend.mttkrp(n)
+            backend.update_factor(n, factors[n])
+
+    one_iteration()  # build lazy structures / reach steady state
+    return one_iteration
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+@pytest.mark.parametrize("dataset", ["nell2", "delicious"])
+def test_iteration_time(benchmark, bench_scale, bench_rank, dataset,
+                        backend_name):
+    tensor = load_dataset(dataset, scale=bench_scale)
+    benchmark(_iteration_fn(tensor, backend_name, bench_rank))
+
+
+def test_e3_table(benchmark, bench_scale, bench_rank, results_dir):
+    result = benchmark.pedantic(
+        lambda: e3_sequential.run(scale=bench_scale, rank=bench_rank),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    obs = result.observations
+    # Order >= 4: adaptive must match or beat every baseline (one miss
+    # allowed for timer noise); order 3: stay near the best baseline.
+    assert obs["high_order_wins"] >= obs["n_high_order"] - 1
+    assert obs["max_low_order_ratio"] < 1.8

@@ -1,0 +1,39 @@
+"""E4 — speedup over no-memoization vs tensor order (figure)."""
+
+import pytest
+from conftest import save_result
+
+from repro.core.cpals import initialize_factors
+from repro.core.engine import MemoizedMttkrp
+from repro.core.strategy import balanced_binary, star
+from repro.experiments import e4_order_sweep
+from repro.synth.datasets import load_dataset
+
+
+@pytest.mark.parametrize("order", [4, 8])
+@pytest.mark.parametrize("strategy_fn", [star, balanced_binary],
+                         ids=["star", "bdt"])
+def test_iteration_by_order(benchmark, bench_scale, bench_rank, order,
+                            strategy_fn):
+    tensor = load_dataset(f"skew{order}d", scale=bench_scale)
+    engine = MemoizedMttkrp(
+        tensor, strategy_fn(order),
+        initialize_factors(tensor, bench_rank, random_state=0),
+    )
+
+    def one_iteration():
+        for n in engine.mode_order:
+            engine.mttkrp(n)
+            engine.update_factor(n, engine.factors[n])
+
+    one_iteration()
+    benchmark(one_iteration)
+
+
+def test_e4_table(benchmark, bench_scale, bench_rank, results_dir):
+    result = benchmark.pedantic(
+        lambda: e4_order_sweep.run(scale=bench_scale, rank=bench_rank),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    assert result.observations["monotone_trend"]

@@ -1,0 +1,26 @@
+"""E5 — planner accuracy: predicted-best vs measured-best (table)."""
+
+from conftest import save_result
+
+from repro.experiments import e5_model_accuracy
+from repro.model.planner import plan
+from repro.synth.datasets import load_dataset
+
+
+def test_planning_overhead(benchmark, bench_scale, bench_rank):
+    """Planning itself must be cheap relative to a CP-ALS run."""
+    tensor = load_dataset("delicious", scale=bench_scale)
+    report = benchmark(lambda: plan(tensor, bench_rank))
+    assert report.best.feasible
+
+
+def test_e5_table(benchmark, bench_scale, bench_rank, results_dir):
+    result = benchmark.pedantic(
+        lambda: e5_model_accuracy.run(scale=bench_scale, rank=bench_rank),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    obs = result.observations
+    assert obs["top2_hits"] >= obs["n_datasets"] - 2
+    # Trusting the model instead of timing everything costs little.
+    assert obs["max_penalty"] < 1.6

@@ -1,0 +1,25 @@
+"""E6 — time/memory trade-off frontier (figure)."""
+
+from conftest import save_result
+
+from repro.core.strategy import balanced_binary
+from repro.core.symbolic import SymbolicTree
+from repro.experiments import e6_memory
+from repro.synth.datasets import load_dataset
+
+
+def test_symbolic_phase_cost(benchmark, bench_scale):
+    """The symbolic phase is the memory-structure build; time it."""
+    tensor = load_dataset("skew6d", scale=bench_scale)
+    sym = benchmark(lambda: SymbolicTree(tensor, balanced_binary(6)))
+    assert sym.index_nbytes() > 0
+
+
+def test_e6_table(benchmark, bench_scale, bench_rank, results_dir):
+    result = benchmark.pedantic(
+        lambda: e6_memory.run(scale=bench_scale, rank=bench_rank),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    # Full memoization stays within the log-factor memory bound.
+    assert result.observations["max_bdt_memory_ratio"] < 16

@@ -1,0 +1,35 @@
+"""E7 — CP rank sweep (figure)."""
+
+import pytest
+from conftest import save_result
+
+from repro.baselines import make_backend
+from repro.core.cpals import initialize_factors
+from repro.experiments import e7_rank_sweep
+from repro.synth.datasets import load_dataset
+
+
+@pytest.mark.parametrize("rank", [8, 32])
+@pytest.mark.parametrize("backend_name", ["splatt", "memoized:bdt"])
+def test_iteration_by_rank(benchmark, bench_scale, rank, backend_name):
+    tensor = load_dataset("flickr", scale=bench_scale)
+    backend = make_backend(backend_name, tensor)
+    factors = initialize_factors(tensor, rank, random_state=0)
+    backend.set_factors(factors)
+
+    def one_iteration():
+        for n in backend.mode_order:
+            backend.mttkrp(n)
+            backend.update_factor(n, factors[n])
+
+    one_iteration()
+    benchmark(one_iteration)
+
+
+def test_e7_table(benchmark, bench_scale, results_dir):
+    result = benchmark.pedantic(
+        lambda: e7_rank_sweep.run(scale=bench_scale),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    assert result.observations["geomean_speedup"] > 1.0

@@ -1,0 +1,38 @@
+"""E8 — multicore strong scaling (figure)."""
+
+import pytest
+from conftest import save_result
+
+from repro.core.cpals import initialize_factors
+from repro.core.strategy import balanced_binary
+from repro.experiments import e8_scaling
+from repro.parallel.engine import ParallelMemoizedMttkrp
+from repro.synth.datasets import load_dataset
+
+
+@pytest.mark.parametrize("n_workers", [1, 4])
+def test_parallel_iteration(benchmark, bench_scale, bench_rank, n_workers):
+    tensor = load_dataset("delicious", scale=bench_scale)
+    engine = ParallelMemoizedMttkrp(
+        tensor, balanced_binary(tensor.ndim),
+        initialize_factors(tensor, bench_rank, random_state=0),
+        n_workers=n_workers,
+    )
+
+    def one_iteration():
+        for n in engine.mode_order:
+            engine.mttkrp(n)
+            engine.update_factor(n, engine.factors[n])
+
+    one_iteration()
+    benchmark(one_iteration)
+    engine.close()
+
+
+def test_e8_table(benchmark, bench_scale, bench_rank, results_dir):
+    result = benchmark.pedantic(
+        lambda: e8_scaling.run(scale=bench_scale, rank=bench_rank),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    assert result.observations["modeled_monotone"]

@@ -1,0 +1,43 @@
+"""E9 — ablations: symbolic amortization, skew sensitivity, planner value."""
+
+from conftest import save_result
+
+from repro.experiments import e9_ablations
+
+
+def test_e9a_symbolic_amortization(benchmark, bench_scale, bench_rank,
+                                   results_dir):
+    result = benchmark.pedantic(
+        lambda: e9_ablations.run_symbolic_amortization(
+            scale=bench_scale, rank=bench_rank
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    finite = [
+        v for v in result.observations["breakeven_by_dataset"].values()
+        if v is not None
+    ]
+    assert finite, "memoization should pay on at least one dataset"
+
+
+def test_e9b_skew_sensitivity(benchmark, bench_rank, results_dir):
+    result = benchmark.pedantic(
+        lambda: e9_ablations.run_skew_sensitivity(rank=bench_rank),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    assert result.observations["monotone"]
+
+
+def test_e9c_planner_vs_fixed(benchmark, bench_scale, bench_rank,
+                              results_dir):
+    result = benchmark.pedantic(
+        lambda: e9_ablations.run_planner_vs_fixed(
+            scale=bench_scale, rank=bench_rank
+        ),
+        rounds=1, iterations=1,
+    )
+    save_result(result, results_dir)
+    # At least one fixed strategy loses somewhere — adaptivity has value.
+    assert sum(result.observations["losses_by_fixed_strategy"].values()) > 0

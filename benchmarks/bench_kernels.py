@@ -1,0 +1,89 @@
+"""Micro-kernel benchmarks: the primitives behind every experiment.
+
+Times the building blocks in isolation so regressions in the hot paths show
+up independent of experiment noise: segment reduction (identity-permutation
+fast path vs genuine permutation), factor-row gather + Hadamard, symbolic
+tree construction, CSF build, and the planner's distinct-count pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.coo import CooTensor
+from repro.core.segreduce import SegmentPlan
+from repro.core.strategy import balanced_binary
+from repro.core.symbolic import SymbolicTree
+from repro.formats.csf import CsfTensor
+from repro.linalg.khatri_rao import khatri_rao_rows
+from repro.model.overlap import DistinctCounter
+from repro.synth.skewed import skewed_random_tensor
+
+N_ROWS = 300_000
+RANK = 16
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(0).random((N_ROWS, RANK))
+
+
+@pytest.fixture(scope="module")
+def tensor():
+    return skewed_random_tensor((500,) * 4, 150_000, 1.1, random_state=0)
+
+
+def test_segreduce_sorted_targets(benchmark, values):
+    """Identity-permutation fast path: no gather before reduceat."""
+    targets = np.sort(np.random.default_rng(1).integers(0, 30_000, N_ROWS))
+    plan = SegmentPlan(targets)
+    assert plan._perm_identity
+    benchmark(plan.reduce, values)
+
+
+def test_segreduce_permuted_targets(benchmark, values):
+    """Genuine permutation: measures the gather overhead."""
+    targets = np.random.default_rng(2).integers(0, 30_000, N_ROWS)
+    plan = SegmentPlan(targets)
+    assert not plan._perm_identity
+    benchmark(plan.reduce, values)
+
+
+def test_factor_gather_hadamard(benchmark):
+    """The per-contraction gather + Hadamard product."""
+    rng = np.random.default_rng(3)
+    U = rng.random((50_000, RANK))
+    V = rng.random((50_000, RANK))
+    rows_u = rng.integers(0, 50_000, N_ROWS)
+    rows_v = rng.integers(0, 50_000, N_ROWS)
+    benchmark(khatri_rao_rows, [U, V], [rows_u, rows_v])
+
+
+def test_symbolic_tree_build(benchmark, tensor):
+    """The one-time symbolic phase for a full BDT."""
+    benchmark(SymbolicTree, tensor, balanced_binary(4))
+
+
+def test_csf_build(benchmark, tensor):
+    """One CSF tree (SPLATT needs N of these)."""
+    benchmark(CsfTensor, tensor, (0, 1, 2, 3))
+
+
+def test_distinct_count_pass(benchmark, tensor):
+    """The planner's per-mode-set distinct count (exact method)."""
+
+    def count_all_pairs():
+        counter = DistinctCounter(tensor)
+        for a in range(3):
+            counter.count([a, a + 1])
+        return counter
+
+    benchmark(count_all_pairs)
+
+
+def test_canonicalize(benchmark):
+    """COO canonicalization (sort + merge) on duplicated draws."""
+    rng = np.random.default_rng(4)
+    idx = np.column_stack([rng.integers(0, 200, 200_000) for _ in range(4)])
+    vals = rng.random(200_000)
+
+    benchmark(lambda: CooTensor(idx, vals, (200,) * 4))

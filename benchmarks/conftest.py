@@ -1,0 +1,51 @@
+"""Shared configuration for the benchmark suite.
+
+Scale knobs:
+
+* ``REPRO_BENCH_SCALE`` (default 0.1) multiplies every registry dataset's
+  nonzero count.  0.1 keeps the full suite around a few minutes; 1.0 runs
+  the registry reference sizes.
+* ``REPRO_BENCH_RANK`` (default 16) sets the CP rank.
+
+Each ``bench_eN_*.py`` regenerates one experiment artifact: it times the
+underlying kernels with pytest-benchmark and runs the corresponding
+``repro.experiments`` module, writing its table to
+``benchmarks/results/`` and asserting the qualitative claim the paper makes.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+RANK = int(os.environ.get("REPRO_BENCH_RANK", "16"))
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_rank():
+    return RANK
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(result, results_dir):
+    """Persist an ExperimentResult's table + JSON under results/."""
+    base = os.path.join(results_dir, result.exp_id.lower())
+    with open(base + ".txt", "w") as fh:
+        fh.write(result.table() + "\n")
+    with open(base + ".json", "w") as fh:
+        fh.write(result.to_json() + "\n")
+    return base

@@ -1,0 +1,54 @@
+"""repro — model-driven sparse CP decomposition for higher-order tensors.
+
+A from-scratch reproduction of the AdaTM system (Li, Choi, Perros, Sun,
+Vuduc; IPDPS 2017): memoized MTTKRP over a strategy tree, an analytic
+performance model, and a planner that adaptively selects the memoization
+algorithm per tensor.
+
+Quickstart::
+
+    import repro
+
+    X = repro.synth.lowrank_tensor((50, 40, 30, 20), rank=5, nnz=20_000,
+                                   random_state=0).tensor
+    result = repro.cp_als(X, rank=5, strategy="auto", random_state=0)
+    print(result.fit, result.strategy_name)
+"""
+
+from . import algos, baselines, core, formats, io, linalg, model, parallel, perf, synth
+from .core import (CooTensor, CPResult, KruskalTensor, MemoizedMttkrp,
+                   MemoStrategy, balanced_binary, chain, cp_als,
+                   default_candidates, from_nested, star, two_way)
+from .model import CostReport, MachineModel, PlannerReport, plan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algos",
+    "baselines",
+    "core",
+    "formats",
+    "io",
+    "linalg",
+    "model",
+    "parallel",
+    "perf",
+    "synth",
+    "CooTensor",
+    "CPResult",
+    "KruskalTensor",
+    "MemoizedMttkrp",
+    "MemoStrategy",
+    "balanced_binary",
+    "chain",
+    "cp_als",
+    "default_candidates",
+    "from_nested",
+    "star",
+    "two_way",
+    "CostReport",
+    "MachineModel",
+    "PlannerReport",
+    "plan",
+    "__version__",
+]

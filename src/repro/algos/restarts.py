@@ -1,0 +1,125 @@
+"""Multi-restart CP-ALS and rank selection.
+
+CP-ALS is sensitive to initialization, so practice runs several restarts and
+keeps the best fit; rank selection sweeps `R` and looks for the fit knee.
+Both workloads amortize the engine's symbolic phase across runs — the
+amortization argument of the memoization literature — which this module
+implements by sharing one :class:`SymbolicTree` across all restarts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.coo import CooTensor
+from ..core.cpals import CPResult, cp_als
+from ..core.engine import MemoizedMttkrp
+from ..core.strategy import resolve_strategy
+from ..core.symbolic import SymbolicTree
+from ..core.validate import check_positive_int, check_random_state
+
+
+@dataclass
+class RestartReport:
+    """All restart outcomes plus the winner."""
+
+    results: list[CPResult]
+    best_index: int
+
+    @property
+    def best(self) -> CPResult:
+        return self.results[self.best_index]
+
+    def fits(self) -> list[float]:
+        return [r.fit for r in self.results]
+
+
+def cp_als_restarts(
+    tensor: CooTensor,
+    rank: int,
+    n_restarts: int = 5,
+    *,
+    strategy="auto",
+    random_state=None,
+    **cp_kwargs,
+) -> RestartReport:
+    """Run CP-ALS from ``n_restarts`` random inits, sharing symbolic work.
+
+    With ``strategy='auto'`` the planner runs once; the chosen strategy's
+    symbolic tree is then reused by every restart (restart ``k`` costs only
+    numeric work).  Extra keyword arguments go to
+    :func:`repro.core.cpals.cp_als`.
+    """
+    check_positive_int(n_restarts, "n_restarts")
+    rng = check_random_state(random_state)
+    if isinstance(strategy, str) and strategy.lower() == "auto":
+        from ..model.planner import plan
+
+        chosen = plan(tensor, rank).best.strategy
+    else:
+        chosen = resolve_strategy(strategy, tensor.ndim)
+    shared_symbolic = SymbolicTree(tensor, chosen)
+
+    def engine_factory(t: CooTensor) -> MemoizedMttkrp:
+        return MemoizedMttkrp(t, chosen, symbolic=shared_symbolic)
+
+    results = []
+    for _ in range(n_restarts):
+        seed = int(rng.integers(0, 2**31 - 1))
+        results.append(
+            cp_als(
+                tensor, rank, engine_factory=engine_factory,
+                random_state=seed, **cp_kwargs,
+            )
+        )
+    best_index = int(np.argmax([r.fit for r in results]))
+    return RestartReport(results=results, best_index=best_index)
+
+
+@dataclass
+class RankSelection:
+    """Fit-vs-rank sweep and the suggested knee."""
+
+    ranks: list[int]
+    fits: dict[int, float]
+    suggested_rank: int
+    reports: dict[int, RestartReport] = field(default_factory=dict)
+
+
+def select_rank(
+    tensor: CooTensor,
+    ranks: Sequence[int],
+    *,
+    n_restarts: int = 2,
+    min_gain: float = 0.01,
+    random_state=None,
+    **cp_kwargs,
+) -> RankSelection:
+    """Sweep CP ranks and suggest the first rank with diminishing fit gain.
+
+    ``min_gain`` is the fit improvement below which a larger rank is judged
+    not worth its parameters (a simple, standard knee rule).
+    """
+    ranks = sorted(set(int(r) for r in ranks))
+    if not ranks:
+        raise ValueError("ranks must be non-empty")
+    rng = check_random_state(random_state)
+    fits: dict[int, float] = {}
+    reports: dict[int, RestartReport] = {}
+    for r in ranks:
+        report = cp_als_restarts(
+            tensor, r, n_restarts, random_state=rng, **cp_kwargs
+        )
+        reports[r] = report
+        fits[r] = report.best.fit
+    suggested = ranks[-1]
+    for prev, cur in zip(ranks, ranks[1:]):
+        if fits[cur] - fits[prev] < min_gain:
+            suggested = prev
+            break
+    return RankSelection(
+        ranks=ranks, fits=fits, suggested_rank=suggested, reports=reports
+    )

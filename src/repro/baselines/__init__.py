@@ -1,0 +1,22 @@
+"""Baseline MTTKRP implementations the paper compares against."""
+
+from .base import MttkrpBackend
+from .coo_mttkrp import CooMttkrp, coo_mttkrp
+from .registry import backend_names, make_backend
+from .splatt import SplattMttkrp, splatt_mttkrp
+from .splatt_one import SplattOneMttkrp, storage_mode_order
+from .ttv import TtvMttkrp, ttv_chain
+
+__all__ = [
+    "MttkrpBackend",
+    "CooMttkrp",
+    "coo_mttkrp",
+    "backend_names",
+    "make_backend",
+    "SplattMttkrp",
+    "SplattOneMttkrp",
+    "storage_mode_order",
+    "splatt_mttkrp",
+    "TtvMttkrp",
+    "ttv_chain",
+]

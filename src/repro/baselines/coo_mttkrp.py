@@ -1,0 +1,69 @@
+"""Plain COO MTTKRP: no memoization, no fiber compression.
+
+For each mode the kernel gathers all ``N-1`` other factor rows per nonzero,
+Hadamard-multiplies them with the values, and segment-sums into output rows.
+Work per iteration: ``N * (N-1) * R * nnz`` multiply events — the reference
+cost that memoization strategies are measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.coo import CooTensor
+from ..core.dtypes import VALUE_DTYPE
+from ..core.segreduce import SegmentPlan
+from ..core.validate import check_mode
+from ..perf import counters as perf
+from .base import MttkrpBackend
+
+
+class CooMttkrp(MttkrpBackend):
+    """COO-based MTTKRP backend with per-mode segment plans built lazily."""
+
+    name = "coo"
+
+    def __init__(self, tensor: CooTensor):
+        super().__init__(tensor)
+        self._plans: dict[int, SegmentPlan] = {}
+
+    def _plan(self, mode: int) -> SegmentPlan:
+        if mode not in self._plans:
+            self._plans[mode] = self.tensor.mode_plan(mode)
+        return self._plans[mode]
+
+    def mttkrp(self, mode: int) -> np.ndarray:
+        mode = check_mode(mode, self.tensor.ndim)
+        tensor, factors, rank = self.tensor, self.factors, self.rank
+        out = np.zeros((tensor.shape[mode], rank), dtype=VALUE_DTYPE)
+        if tensor.nnz == 0:
+            perf.record(mttkrps=1)
+            return out
+        prod: np.ndarray | None = None
+        for m in range(tensor.ndim):
+            if m == mode:
+                continue
+            rows = factors[m][tensor.idx[:, m]]
+            if prod is None:
+                prod = rows.copy()
+            else:
+                prod *= rows
+        assert prod is not None
+        prod *= tensor.vals[:, None]
+        plan = self._plan(mode)
+        out[plan.group_ids] = plan.reduce(prod)
+        n_other = tensor.ndim - 1
+        perf.record(
+            mttkrps=1,
+            contractions=n_other,
+            flops=tensor.nnz * rank * (n_other + 1),
+            words=tensor.nnz * rank * (n_other + 2),
+        )
+        return out
+
+
+def coo_mttkrp(tensor: CooTensor, factors, mode: int) -> np.ndarray:
+    """One-shot functional form of :class:`CooMttkrp`."""
+    backend = CooMttkrp(tensor)
+    backend.set_factors(factors)
+    return backend.mttkrp(mode)

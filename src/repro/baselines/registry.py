@@ -1,0 +1,50 @@
+"""Named registry of MTTKRP backends for the benchmark harness.
+
+``make_backend('splatt', tensor)`` and friends give the benchmark scripts a
+uniform way to instantiate comparators; ``'memoized'`` variants carry a
+strategy spec after a colon, e.g. ``'memoized:bdt'`` or ``'memoized:star'``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.coo import CooTensor
+from ..core.engine import MemoizedMttkrp
+from .coo_mttkrp import CooMttkrp
+from .splatt import SplattMttkrp
+from .splatt_one import SplattOneMttkrp
+from .ttv import TtvMttkrp
+
+_BASELINES: dict[str, Callable[[CooTensor], object]] = {
+    "coo": CooMttkrp,
+    "ttv": TtvMttkrp,
+    "splatt": SplattMttkrp,
+    "splatt1": SplattOneMttkrp,
+}
+
+
+def backend_names() -> list[str]:
+    """Names accepted by :func:`make_backend` (memoized variants excluded)."""
+    return sorted(_BASELINES)
+
+
+def make_backend(name: str, tensor: CooTensor):
+    """Instantiate a backend by name.
+
+    ``'memoized:<strategy>'`` builds the memoization engine with the named
+    strategy (see :func:`repro.core.strategy.resolve_strategy`);
+    ``'memoized'`` alone uses the balanced binary tree.
+    """
+    key = name.lower()
+    if key in _BASELINES:
+        return _BASELINES[key](tensor)
+    if key == "memoized" or key.startswith("memoized:"):
+        _, _, spec = key.partition(":")
+        engine = MemoizedMttkrp(tensor, spec or "bdt")
+        engine.name = f"memoized:{engine.strategy.name}"  # type: ignore[attr-defined]
+        return engine
+    raise ValueError(
+        f"unknown backend {name!r}; choose from {backend_names()} or "
+        "'memoized[:<strategy>]'"
+    )

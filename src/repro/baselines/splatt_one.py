@@ -1,0 +1,50 @@
+"""SPLATT-one: all-mode MTTKRP from a single CSF tree.
+
+The memory-lean SPLATT configuration: one CSF serves every mode via the
+level-targeted push-down/pull-up kernel (:meth:`CsfTensor.mttkrp_level`),
+trading some per-mode speed (non-root modes pay top- and bottom-partial
+passes) for an ``N``-fold reduction in index storage versus
+:class:`~repro.baselines.splatt.SplattMttkrp` (CSF-per-mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.coo import CooTensor
+from ..core.validate import check_mode
+from ..formats.csf import CsfTensor
+from .base import MttkrpBackend
+
+
+def storage_mode_order(tensor: CooTensor) -> tuple[int, ...]:
+    """SPLATT's default single-tree ordering: modes sorted by size ascending.
+
+    Small modes near the root maximize fiber compression at the expensive
+    upper levels.
+    """
+    return tuple(int(m) for m in np.argsort(tensor.shape, kind="stable"))
+
+
+class SplattOneMttkrp(MttkrpBackend):
+    """Single-CSF MTTKRP backend (SPLATT-one)."""
+
+    name = "splatt1"
+
+    def __init__(self, tensor: CooTensor, mode_order_hint=None):
+        super().__init__(tensor)
+        order = (
+            tuple(mode_order_hint)
+            if mode_order_hint is not None
+            else storage_mode_order(tensor)
+        )
+        self.csf = CsfTensor(tensor, order)
+        self._level_of_mode = {m: l for l, m in enumerate(order)}
+
+    def mttkrp(self, mode: int) -> np.ndarray:
+        mode = check_mode(mode, self.tensor.ndim)
+        return self.csf.mttkrp_level(self.factors, self._level_of_mode[mode])
+
+    def index_nbytes(self) -> int:
+        """Bytes of the single CSF tree (compare SplattMttkrp.index_nbytes)."""
+        return self.csf.nbytes()

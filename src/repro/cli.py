@@ -1,0 +1,240 @@
+"""Command-line interface: decompose / plan / complete / inspect tensors.
+
+Usage::
+
+    python -m repro decompose data.tns --rank 16 --out factors.npz
+    python -m repro plan data.tns --rank 16 --top 8
+    python -m repro complete ratings.tns --rank 8 --test-fraction 0.2
+    python -m repro info delicious --scale 0.2
+    python -m repro datasets
+
+Tensor inputs are ``.tns``/``.tns.gz`` (FROSTT), ``.npz`` (this library's
+cache format), or a registry dataset name (generated on the fly; use
+``--scale``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from .core.coo import CooTensor
+
+
+def load_input(path_or_name: str, scale: float = 1.0) -> CooTensor:
+    """Resolve a CLI tensor argument to a CooTensor."""
+    from .io.cache import load_npz
+    from .io.frostt import read_tns
+    from .synth.datasets import dataset_names, load_dataset
+
+    lower = path_or_name.lower()
+    if lower.endswith((".tns", ".tns.gz")):
+        return read_tns(path_or_name)
+    if lower.endswith(".npz"):
+        return load_npz(path_or_name)
+    if path_or_name in dataset_names():
+        return load_dataset(path_or_name, scale=scale)
+    if os.path.exists(path_or_name):
+        raise ValueError(
+            f"unrecognized tensor file extension: {path_or_name!r} "
+            "(expected .tns, .tns.gz, or .npz)"
+        )
+    raise ValueError(
+        f"{path_or_name!r} is neither an existing file nor a registry "
+        f"dataset; datasets: {', '.join(dataset_names())}"
+    )
+
+
+def _save_model(model, path: str) -> None:
+    from .io.model import save_model
+
+    save_model(model, path)
+
+
+def cmd_info(args) -> int:
+    tensor = load_input(args.input, args.scale)
+    print(tensor)
+    print(f"  shape      : {tensor.shape}")
+    print(f"  nnz        : {tensor.nnz:,}")
+    print(f"  density    : {tensor.density:.3e}")
+    print(f"  fro norm   : {tensor.norm():.6g}")
+    print(f"  memory     : {tensor.nbytes() / 1e6:.2f} MB (COO)")
+    from .core.stats import mode_skew, pairwise_overlap
+
+    for n in range(tensor.ndim):
+        used = int((tensor.slice_nnz(n) > 0).sum())
+        skew = mode_skew(tensor, n)
+        print(f"  mode {n}: size {tensor.shape[n]:>8,}  used slices "
+              f"{used:,}  skew {skew:.2f}")
+    if tensor.ndim >= 2 and tensor.nnz:
+        overlaps = pairwise_overlap(tensor)
+        best_pair = max(overlaps, key=overlaps.get)
+        print(f"  max pairwise overlap: {overlaps[best_pair]:.2f} "
+              f"(modes {best_pair[0]},{best_pair[1]})")
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    from .model.report import format_table
+    from .synth.datasets import dataset_names, get_spec
+
+    rows = []
+    for name in dataset_names():
+        spec = get_spec(name)
+        rows.append([
+            name,
+            spec.order,
+            "x".join(map(str, spec.shape)),
+            spec.nnz,
+            spec.analog_of or "synthetic",
+        ])
+    print(format_table(
+        ["name", "order", "shape (scale=1)", "nnz", "analog of"], rows
+    ))
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from .model.calibrate import calibrate_machine
+    from .model.planner import plan
+
+    tensor = load_input(args.input, args.scale)
+    machine = calibrate_machine() if args.calibrate else None
+    report = plan(
+        tensor, args.rank, memory_budget=args.memory_budget, machine=machine
+    )
+    print(report.summary(top=args.top))
+    best = report.best
+    print(f"\nselected: {best.strategy.name}  "
+          f"spec={best.strategy.to_nested()}")
+    return 0
+
+
+def cmd_decompose(args) -> int:
+    tensor = load_input(args.input, args.scale)
+    if args.nonneg:
+        from .algos.ncp import cp_nmu
+
+        result = cp_nmu(
+            tensor, args.rank, strategy=args.strategy
+            if args.strategy != "auto" else "bdt",
+            n_iter_max=args.iters, tol=args.tol, random_state=args.seed,
+        )
+    else:
+        from .core.cpals import cp_als
+
+        result = cp_als(
+            tensor, args.rank, strategy=args.strategy,
+            n_iter_max=args.iters, tol=args.tol, random_state=args.seed,
+        )
+    print(f"strategy   : {result.strategy_name}")
+    print(f"iterations : {result.n_iterations} (converged={result.converged})")
+    print(f"fit        : {result.fit:.6f}")
+    if args.out:
+        _save_model(result.ktensor, args.out)
+        print(f"model written to {args.out}")
+    return 0
+
+
+def cmd_complete(args) -> int:
+    from .algos.completion import complete, holdout_split
+
+    tensor = load_input(args.input, args.scale)
+    if args.test_fraction > 0:
+        train, test_idx, test_vals = holdout_split(
+            tensor, args.test_fraction, random_state=args.seed
+        )
+    else:
+        train, test_idx, test_vals = tensor, None, None
+    result = complete(
+        train, args.rank, n_iter_max=args.iters, tol=args.tol,
+        learning_rate=args.learning_rate, random_state=args.seed,
+    )
+    print(f"strategy    : {result.strategy_name}")
+    print(f"epochs      : {result.n_iterations} "
+          f"(converged={result.converged})")
+    print(f"train RMSE  : {result.rmse:.6g}")
+    if test_idx is not None:
+        pred = result.predict(test_idx)
+        rmse = float(np.sqrt(np.mean((pred - test_vals) ** 2)))
+        print(f"test RMSE   : {rmse:.6g} "
+              f"({test_idx.shape[0]:,} held-out entries)")
+    if args.out:
+        _save_model(result.ktensor, args.out)
+        print(f"model written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_input(p):
+        p.add_argument("input", help="tensor file or registry dataset name")
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="scale for registry datasets")
+
+    p = sub.add_parser("info", help="print tensor statistics")
+    add_input(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("datasets", help="list registry datasets")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("plan", help="rank memoization strategies")
+    add_input(p)
+    p.add_argument("--rank", type=int, default=16)
+    p.add_argument("--memory-budget", type=int, default=None,
+                   help="cap on memoization memory (bytes)")
+    p.add_argument("--top", type=int, default=8)
+    p.add_argument("--calibrate", action="store_true",
+                   help="micro-benchmark this machine first")
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("decompose", help="CP-ALS / nonnegative CP")
+    add_input(p)
+    p.add_argument("--rank", type=int, default=16)
+    p.add_argument("--strategy", default="auto")
+    p.add_argument("--iters", type=int, default=50)
+    p.add_argument("--tol", type=float, default=1e-7)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nonneg", action="store_true",
+                   help="nonnegative CP via multiplicative updates")
+    p.add_argument("--out", default=None, help="write factors to .npz")
+    p.set_defaults(fn=cmd_decompose)
+
+    p = sub.add_parser("complete", help="tensor completion (missing-data CP)")
+    add_input(p)
+    p.add_argument("--rank", type=int, default=8)
+    p.add_argument("--iters", type=int, default=300)
+    p.add_argument("--tol", type=float, default=1e-6)
+    p.add_argument("--learning-rate", type=float, default=0.1)
+    p.add_argument("--test-fraction", type=float, default=0.0,
+                   help="hold out this fraction for test RMSE")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="write factors to .npz")
+    p.set_defaults(fn=cmd_complete)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+    except (ValueError, KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Core: sparse tensors, memoization strategies, the MTTKRP engine, CP-ALS."""
+
+from .coo import CooTensor
+from .cpals import CPResult, cp_als, initialize_factors
+from .engine import MemoizedMttkrp
+from .kruskal import KruskalTensor
+from .semisparse import SemiSparseTensor
+from .strategy import (MemoStrategy, balanced_binary, chain,
+                       default_candidates, enumerate_binary, from_nested,
+                       resolve_strategy, star, two_way)
+from .stats import mode_skew, pairwise_overlap, summary, used_slices
+from .symbolic import SymbolicTree
+
+__all__ = [
+    "CooTensor",
+    "CPResult",
+    "cp_als",
+    "initialize_factors",
+    "MemoizedMttkrp",
+    "KruskalTensor",
+    "SemiSparseTensor",
+    "MemoStrategy",
+    "balanced_binary",
+    "chain",
+    "default_candidates",
+    "enumerate_binary",
+    "from_nested",
+    "resolve_strategy",
+    "star",
+    "two_way",
+    "SymbolicTree",
+    "mode_skew",
+    "pairwise_overlap",
+    "summary",
+    "used_slices",
+]

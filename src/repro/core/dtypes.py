@@ -1,0 +1,50 @@
+"""Canonical dtypes and numeric constants used across the library.
+
+Every index array in the library is ``INDEX_DTYPE`` and every value array is
+``VALUE_DTYPE``; keeping a single definition avoids silent mixed-dtype
+promotions in the hot kernels (gathers, segment reductions) where an
+unexpected upcast doubles memory traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: dtype of all nonzero coordinate arrays.
+INDEX_DTYPE = np.int64
+
+#: dtype of all nonzero value / factor-matrix arrays.
+VALUE_DTYPE = np.float64
+
+#: Bytes per index element (used by the memory model).
+INDEX_ITEMSIZE = np.dtype(INDEX_DTYPE).itemsize
+
+#: Bytes per value element (used by the memory model).
+VALUE_ITEMSIZE = np.dtype(VALUE_DTYPE).itemsize
+
+#: Default absolute tolerance when deciding a computed entry is zero.
+ZERO_TOL = 0.0
+
+#: Default relative tolerance for floating-point agreement tests between
+#: independent MTTKRP implementations.
+AGREEMENT_RTOL = 1e-10
+
+
+def as_index_array(a, *, copy: bool = False) -> np.ndarray:
+    """Return ``a`` as a C-contiguous ``INDEX_DTYPE`` ndarray.
+
+    ``copy=False`` copies only when dtype/layout conversion requires it.
+    """
+    if copy:
+        return np.array(a, dtype=INDEX_DTYPE, copy=True, order="C")
+    return np.ascontiguousarray(a, dtype=INDEX_DTYPE)
+
+
+def as_value_array(a, *, copy: bool = False) -> np.ndarray:
+    """Return ``a`` as a C-contiguous ``VALUE_DTYPE`` ndarray.
+
+    ``copy=False`` copies only when dtype/layout conversion requires it.
+    """
+    if copy:
+        return np.array(a, dtype=VALUE_DTYPE, copy=True, order="C")
+    return np.ascontiguousarray(a, dtype=VALUE_DTYPE)

@@ -1,0 +1,265 @@
+"""The memoized MTTKRP engine: numeric phase over a symbolic tree.
+
+Given a tensor, a memoization strategy, and current factor matrices, the
+engine produces MTTKRP results per mode while caching intermediate
+semi-sparse tensors and invalidating exactly those that depend on an updated
+factor.  All numeric work is three vectorized passes per node rebuild:
+factor-row gather, Hadamard product, segmented sum.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..perf import counters as perf
+from .coo import CooTensor
+from .dtypes import VALUE_DTYPE
+from .semisparse import SemiSparseTensor
+from .strategy import MemoStrategy, resolve_strategy
+from .symbolic import SymbolicTree
+from .validate import check_factor_matrices, check_mode
+
+
+def contraction_work(parent_nnz: int, rank: int, n_delta: int) -> tuple[int, int]:
+    """(flops, words) convention for rebuilding a node from its parent.
+
+    flops: ``parent_nnz * R * (n_delta + 1)`` — ``n_delta`` Hadamard
+    multiplies per element-row plus one add into the segment reduction.
+    words: gathered factor rows (``parent_nnz * R`` per delta mode), the
+    parent value read, and the node value write.
+    """
+    flops = parent_nnz * rank * (n_delta + 1)
+    words = parent_nnz * rank * (n_delta + 2)
+    return flops, words
+
+
+class MemoizedMttkrp:
+    """Stateful MTTKRP provider for one tensor + strategy.
+
+    Parameters
+    ----------
+    tensor:
+        input sparse tensor.
+    strategy:
+        a :class:`MemoStrategy`, nested-tuple spec, or strategy name.
+    factors:
+        optional initial factor matrices (may also be installed later with
+        :meth:`set_factors`).
+    symbolic:
+        a prebuilt :class:`SymbolicTree` to reuse (skips the symbolic phase).
+    """
+
+    def __init__(self, tensor: CooTensor, strategy, factors=None, *,
+                 symbolic: SymbolicTree | None = None):
+        self.tensor = tensor
+        self.strategy: MemoStrategy = resolve_strategy(strategy, tensor.ndim)
+        if symbolic is not None:
+            if symbolic.strategy is not self.strategy and (
+                symbolic.strategy.signature() != self.strategy.signature()
+            ):
+                raise ValueError("prebuilt symbolic tree uses a different strategy")
+            if symbolic.tensor is not tensor:
+                raise ValueError("prebuilt symbolic tree is for a different tensor")
+            self.symbolic = symbolic
+        else:
+            self.symbolic = SymbolicTree(tensor, self.strategy)
+        self._values: list[np.ndarray | None] = [None] * len(self.strategy.nodes)
+        self._factors: list[np.ndarray] | None = None
+        self._rank: int | None = None
+        self._root_vals: np.ndarray = tensor.vals
+        if factors is not None:
+            self.set_factors(factors)
+
+    @property
+    def mode_order(self) -> tuple[int, ...]:
+        """Mode update order under which each node rebuilds once/iteration."""
+        return self.strategy.mode_order
+
+    # ------------------------------------------------------------------
+    # factor management
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        if self._rank is None:
+            raise RuntimeError("factors have not been set")
+        return self._rank
+
+    @property
+    def factors(self) -> list[np.ndarray]:
+        if self._factors is None:
+            raise RuntimeError("factors have not been set")
+        return self._factors
+
+    def set_factors(self, factors: Sequence[np.ndarray]) -> None:
+        """Install a full set of factor matrices; drops every cached node."""
+        rank = check_factor_matrices(factors, self.tensor.shape)
+        self._factors = [
+            np.ascontiguousarray(U, dtype=VALUE_DTYPE) for U in factors
+        ]
+        self._rank = rank
+        self.invalidate_all()
+
+    def update_factor(self, mode: int, U: np.ndarray) -> None:
+        """Replace one factor; invalidates nodes contracted with ``mode``."""
+        mode = check_mode(mode, self.tensor.ndim)
+        U = np.ascontiguousarray(U, dtype=VALUE_DTYPE)
+        if U.shape != (self.tensor.shape[mode], self.rank):
+            raise ValueError(
+                f"factor for mode {mode} must be "
+                f"{(self.tensor.shape[mode], self.rank)}, got {U.shape}"
+            )
+        self.factors[mode] = U
+        for nid in self.strategy.invalidated_by(mode):
+            self._values[nid] = None
+
+    def invalidate_all(self) -> None:
+        for nid in range(len(self._values)):
+            self._values[nid] = None
+
+    def set_root_values(self, vals: np.ndarray) -> None:
+        """Replace the tensor's nonzero *values* (same sparsity pattern).
+
+        The symbolic tree depends only on the coordinate pattern, so callers
+        whose values change but whose pattern is fixed — e.g. the residual
+        tensor in gradient-based completion — reuse all symbolic work.
+        Drops every cached node.
+        """
+        vals = np.ascontiguousarray(vals, dtype=VALUE_DTYPE)
+        if vals.shape != (self.tensor.nnz,):
+            raise ValueError(
+                f"values must have shape ({self.tensor.nnz},), got {vals.shape}"
+            )
+        self._root_vals = vals
+        self.invalidate_all()
+
+    # ------------------------------------------------------------------
+    # numeric phase
+    # ------------------------------------------------------------------
+    def mttkrp(self, mode: int) -> np.ndarray:
+        """The mode-``n`` MTTKRP ``M^(n)`` (shape ``I_n x R``).
+
+        Entering mode ``n``'s sub-iteration eagerly frees every cached node
+        contracted with ``n``: those values are doomed (the imminent factor
+        update invalidates them) and freeing first is what bounds live value
+        matrices by the tree height.
+        """
+        mode = check_mode(mode, self.tensor.ndim)
+        for nid in self.strategy.invalidated_by(mode):
+            self._values[nid] = None
+        leaf_id = self.strategy.leaf_id(mode)
+        self._ensure_node(leaf_id)
+        sym = self.symbolic.nodes[leaf_id]
+        vals = self._values[leaf_id]
+        assert vals is not None
+        out = np.zeros((self.tensor.shape[mode], self.rank), dtype=VALUE_DTYPE)
+        out[sym.index[:, 0]] = vals
+        perf.record(mttkrps=1, words=vals.size)
+        return out
+
+    def mttkrp_all(self) -> list[np.ndarray]:
+        """All N MTTKRPs under the *current* factors, one tree sweep.
+
+        With fixed factors the N leaf tensors share every internal node, so
+        the whole set costs a single full-tree materialization — the
+        gradient-evaluation pattern of CP completion/optimization, where all
+        factors update simultaneously between evaluations.  Skips the
+        per-mode eager free (every node stays cached until the next
+        invalidation), trading the tree-height memory bound for speed.
+        """
+        outs: list[np.ndarray] = [None] * self.tensor.ndim  # type: ignore[list-item]
+        for mode in self.strategy.mode_order:
+            leaf_id = self.strategy.leaf_id(mode)
+            self._ensure_node(leaf_id)
+            sym = self.symbolic.nodes[leaf_id]
+            vals = self._values[leaf_id]
+            assert vals is not None
+            out = np.zeros(
+                (self.tensor.shape[mode], self.rank), dtype=VALUE_DTYPE
+            )
+            out[sym.index[:, 0]] = vals
+            perf.record(mttkrps=1, words=vals.size)
+            outs[mode] = out
+        return outs
+
+    def node_tensor(self, node_id: int) -> SemiSparseTensor:
+        """Materialize a node's semi-sparse tensor (computing if needed)."""
+        self._ensure_node(node_id)
+        sym = self.symbolic.nodes[node_id]
+        if self.strategy.nodes[node_id].is_root:
+            vals = np.broadcast_to(
+                self._root_vals[:, None], (self.tensor.nnz, self.rank)
+            )
+        else:
+            vals = self._values[node_id]
+            assert vals is not None
+        return SemiSparseTensor(
+            sym.modes,
+            sym.index,
+            vals,
+            tuple(self.tensor.shape[m] for m in sym.modes),
+        )
+
+    def cached_node_ids(self) -> list[int]:
+        """Ids of non-root nodes currently holding a value matrix."""
+        return [
+            nid
+            for nid, v in enumerate(self._values)
+            if v is not None and not self.strategy.nodes[nid].is_root
+        ]
+
+    def live_value_bytes(self) -> int:
+        """Bytes held by cached value matrices right now."""
+        return sum(
+            v.nbytes for v in self._values if v is not None
+        )
+
+    def _ensure_node(self, node_id: int) -> None:
+        node = self.strategy.nodes[node_id]
+        if node.is_root or self._values[node_id] is not None:
+            return
+        assert node.parent is not None
+        self._ensure_node(node.parent)
+        self._values[node_id] = self._compute_node(node_id)
+
+    def _compute_node(self, node_id: int) -> np.ndarray:
+        node = self.strategy.nodes[node_id]
+        sym = self.symbolic.nodes[node_id]
+        parent = self.strategy.nodes[node.parent]  # type: ignore[index]
+        parent_sym = self.symbolic.nodes[node.parent]  # type: ignore[index]
+        factors = self.factors
+        # Hadamard product of the delta-mode factor rows, one gather per
+        # contracted mode.
+        prod: np.ndarray | None = None
+        for d_mode, d_col in zip(sym.delta_modes, sym.delta_parent_cols):
+            rows = factors[d_mode][parent_sym.index[:, d_col]]
+            if prod is None:
+                prod = rows.copy()
+            else:
+                prod *= rows
+        assert prod is not None, "strategy validation guarantees non-empty delta"
+        if parent.is_root:
+            prod *= self._root_vals[:, None]
+        else:
+            parent_vals = self._values[parent.id]
+            assert parent_vals is not None
+            prod *= parent_vals
+        assert sym.plan is not None
+        result = sym.plan.reduce(prod)
+        flops, words = contraction_work(
+            parent_sym.nnz, self.rank, len(sym.delta_modes)
+        )
+        perf.record(
+            flops=flops,
+            words=words,
+            contractions=len(sym.delta_modes),
+            node_builds=1,
+        )
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoizedMttkrp(strategy={self.strategy.name!r}, "
+            f"nnz={self.tensor.nnz}, rank={self._rank})"
+        )

@@ -1,0 +1,161 @@
+"""Kruskal (CP) tensors: the output of a CP decomposition.
+
+A rank-``R`` Kruskal tensor is ``[[lambda; U^(1), ..., U^(N)]]`` — a weight
+vector plus one factor matrix per mode, representing
+``sum_r lambda_r u_r^(1) o ... o u_r^(N)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..linalg.gram import gram, hadamard_grams
+from ..linalg.khatri_rao import khatri_rao_rows
+from ..linalg.norms import normalize_columns
+from .coo import CooTensor
+from .dtypes import VALUE_DTYPE, as_index_array, as_value_array
+from .validate import check_factor_matrices, check_shape
+
+
+class KruskalTensor:
+    """A weighted CP model.
+
+    Parameters
+    ----------
+    weights: length-``R`` component weights (``lambda``).
+    factors: list of ``I_n x R`` factor matrices.
+    """
+
+    __slots__ = ("weights", "factors")
+
+    def __init__(self, weights, factors: Sequence[np.ndarray], *, copy: bool = True):
+        factors = [as_value_array(U, copy=copy) for U in factors]
+        shape = tuple(U.shape[0] for U in factors)
+        check_shape(shape, "factor shape")
+        rank = check_factor_matrices(factors, shape)
+        weights = as_value_array(weights, copy=copy)
+        if weights.shape != (rank,):
+            raise ValueError(
+                f"weights must have shape ({rank},), got {weights.shape}"
+            )
+        self.weights = weights
+        self.factors = factors
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_factors(cls, factors: Sequence[np.ndarray]) -> "KruskalTensor":
+        """Unit-weight model from raw factors."""
+        rank = np.asarray(factors[0]).shape[1]
+        return cls(np.ones(rank, dtype=VALUE_DTYPE), factors)
+
+    @property
+    def rank(self) -> int:
+        return int(self.weights.shape[0])
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(U.shape[0] for U in self.factors)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.factors)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full tensor (small shapes only)."""
+        total = 1
+        for s in self.shape:
+            total *= s
+        if total > 50_000_000:
+            raise MemoryError("refusing to densify a large Kruskal tensor")
+        out = self.factors[0] * self.weights  # I_0 x R
+        for U in self.factors[1:]:
+            out = out[..., None, :] * U  # broadcast over the new mode
+        return out.sum(axis=-1)
+
+    def values_at(self, coords) -> np.ndarray:
+        """Model values at a ``q x N`` block of coordinates."""
+        coords = as_index_array(coords)
+        rows = [coords[:, n] for n in range(self.ndim)]
+        prod = khatri_rao_rows(self.factors, rows)
+        return prod @ self.weights
+
+    def norm(self) -> float:
+        """Frobenius norm via the Gram-Hadamard identity (no densification)."""
+        H = hadamard_grams([gram(U) for U in self.factors])
+        val = float(self.weights @ H @ self.weights)
+        return float(np.sqrt(max(val, 0.0)))
+
+    def fit(self, tensor: CooTensor) -> float:
+        """CP fit ``1 - ||X - model|| / ||X||`` against a sparse tensor."""
+        from ..linalg.innerprod import sparse_kruskal_innerprod
+
+        xnorm = tensor.norm()
+        if xnorm == 0.0:
+            return 1.0 if self.norm() == 0.0 else float("-inf")
+        inner = sparse_kruskal_innerprod(tensor, self.weights, self.factors)
+        err_sq = max(xnorm**2 + self.norm() ** 2 - 2.0 * inner, 0.0)
+        return 1.0 - float(np.sqrt(err_sq)) / xnorm
+
+    # ------------------------------------------------------------------
+    # canonical forms
+    # ------------------------------------------------------------------
+    def normalize(self) -> "KruskalTensor":
+        """Push all column norms into the weights."""
+        weights = self.weights.copy()
+        factors = []
+        for U in self.factors:
+            Un, norms = normalize_columns(U)
+            weights *= norms
+            factors.append(Un)
+        return KruskalTensor(weights, factors, copy=False)
+
+    def arrange(self) -> "KruskalTensor":
+        """Normalize and sort components by descending weight magnitude."""
+        normalized = self.normalize()
+        order = np.argsort(-np.abs(normalized.weights), kind="stable")
+        return KruskalTensor(
+            normalized.weights[order],
+            [U[:, order] for U in normalized.factors],
+            copy=False,
+        )
+
+    def congruence(self, other: "KruskalTensor") -> float:
+        """Factor match score (FMS) against another model of equal rank.
+
+        Greedily matches components by the product of per-mode cosine
+        similarities; 1.0 means identical up to permutation/scaling.  Used by
+        recovery tests on planted low-rank tensors.
+        """
+        if self.shape != other.shape or self.rank != other.rank:
+            raise ValueError("congruence requires equal shapes and ranks")
+        a, b = self.arrange(), other.arrange()
+        rank = self.rank
+        # Per-mode cosine similarity matrices between all component pairs.
+        sim = np.ones((rank, rank), dtype=VALUE_DTYPE)
+        for Ua, Ub in zip(a.factors, b.factors):
+            na = np.sqrt(np.einsum("ir,ir->r", Ua, Ua))
+            nb = np.sqrt(np.einsum("ir,ir->r", Ub, Ub))
+            cross = np.abs(Ua.T @ Ub)
+            denom = np.outer(np.where(na > 0, na, 1), np.where(nb > 0, nb, 1))
+            sim *= cross / denom
+        # Greedy matching (Hungarian-free; adequate for well-separated
+        # components, which is what the recovery tests construct).
+        remaining = set(range(rank))
+        total = 0.0
+        for i in range(rank):
+            j = max(remaining, key=lambda jj: sim[i, jj])
+            total += sim[i, j]
+            remaining.remove(j)
+        return total / rank
+
+    def astype_coo(self, *, tol: float = 0.0) -> CooTensor:
+        """Densify then sparsify (tests/examples on small shapes only)."""
+        return CooTensor.from_dense(self.to_dense(), tol=tol)
+
+    def __repr__(self) -> str:
+        return f"KruskalTensor(shape={self.shape}, rank={self.rank})"

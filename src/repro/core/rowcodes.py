@@ -1,0 +1,96 @@
+"""Row-encoding utilities: map multi-column integer rows to scalar keys.
+
+Grouping identical coordinate tuples is the backbone of both tensor
+canonicalization and the symbolic contraction phase.  When the mixed-radix
+product of the mode sizes fits in ``int64`` we encode each row as a single
+scalar (one ``lexsort``-free ``np.unique`` over a flat array, the fast path);
+otherwise we fall back to a lexicographic sort over the columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtypes import INDEX_DTYPE
+
+#: Largest mixed-radix product for which scalar encoding is safe.
+_MAX_CODE = np.iinfo(np.int64).max
+
+
+def fits_int64(dims) -> bool:
+    """True if the mixed-radix encoding of ``dims`` fits in a signed int64."""
+    prod = 1
+    for d in dims:
+        prod *= int(d)
+        if prod > _MAX_CODE:
+            return False
+    return True
+
+
+def encode_rows(idx: np.ndarray, dims) -> np.ndarray:
+    """Encode each row of ``idx`` (``m x k``) as a scalar int64 key.
+
+    The encoding is the mixed-radix number with digit ``idx[:, j]`` and radix
+    ``dims[j]`` — row-major, so scalar-key order equals lexicographic row
+    order.  Raises ``OverflowError`` when the key space exceeds int64; callers
+    should check :func:`fits_int64` first or catch and fall back to
+    :func:`lexsort_rows`.
+    """
+    dims = [int(d) for d in dims]
+    if idx.shape[1] != len(dims):
+        raise ValueError(
+            f"idx has {idx.shape[1]} columns but dims has {len(dims)} entries"
+        )
+    if not fits_int64(dims):
+        raise OverflowError("mixed-radix key space exceeds int64")
+    m, k = idx.shape
+    if k == 0:
+        return np.zeros(m, dtype=INDEX_DTYPE)
+    codes = idx[:, 0].astype(INDEX_DTYPE, copy=True)
+    for j in range(1, k):
+        codes *= dims[j]
+        codes += idx[:, j]
+    return codes
+
+
+def lexsort_rows(idx: np.ndarray) -> np.ndarray:
+    """Return the permutation sorting rows of ``idx`` lexicographically."""
+    if idx.shape[0] == 0:
+        return np.zeros(0, dtype=np.intp)
+    if idx.shape[1] == 0:
+        return np.arange(idx.shape[0], dtype=np.intp)
+    # np.lexsort keys: last key is primary, so reverse the column order.
+    return np.lexsort(idx.T[::-1])
+
+
+def group_rows(idx: np.ndarray, dims) -> tuple[np.ndarray, np.ndarray]:
+    """Group identical rows of ``idx``.
+
+    Returns ``(unique_rows, inverse)`` where ``unique_rows`` is ``u x k`` in
+    lexicographic order and ``inverse`` maps each input row to its group id,
+    exactly like ``np.unique(idx, axis=0, return_inverse=True)`` but much
+    faster on the common int64-encodable path.
+    """
+    m, k = idx.shape
+    if m == 0:
+        return idx[:0].copy(), np.zeros(0, dtype=np.intp)
+    if k == 0:
+        return idx[:1].copy(), np.zeros(m, dtype=np.intp)
+    if fits_int64(dims):
+        codes = encode_rows(idx, dims)
+        _, first, inverse = np.unique(codes, return_index=True, return_inverse=True)
+        return idx[first], inverse
+    unique_rows, inverse = np.unique(idx, axis=0, return_inverse=True)
+    return unique_rows, inverse.ravel()
+
+
+def count_distinct_rows(idx: np.ndarray, dims) -> int:
+    """Number of distinct rows of ``idx`` (cheaper than :func:`group_rows`)."""
+    m, k = idx.shape
+    if m == 0:
+        return 0
+    if k == 0:
+        return 1
+    if fits_int64(dims):
+        return int(np.unique(encode_rows(idx, dims)).size)
+    return int(np.unique(idx, axis=0).shape[0])

@@ -1,0 +1,196 @@
+"""Segmented-reduction plans: the numeric engine's scatter-add primitive.
+
+Memoized MTTKRP repeatedly sums groups of ``R``-wide value rows into target
+rows given a *static* source-to-target mapping (the mapping is fixed by the
+tensor's sparsity pattern and the memoization strategy, while the values
+change every sub-iteration).  A :class:`SegmentPlan` pays the sort once, at
+symbolic time, and turns every subsequent reduction into one gather plus one
+``np.add.reduceat`` — both contiguous, vectorized passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtypes import INDEX_ITEMSIZE, as_index_array
+
+
+class SegmentPlan:
+    """Precomputed plan for summing source rows into target groups.
+
+    Parameters
+    ----------
+    targets:
+        Integer array of length ``m`` mapping each source row to a target
+        group id.  Group ids need not be contiguous or sorted; the plan's
+        output rows follow ascending group-id order.
+
+    Attributes
+    ----------
+    n_sources: number of source rows ``m``.
+    n_segments: number of distinct target groups ``u``.
+    group_ids: the ``u`` distinct target ids, ascending.
+    """
+
+    __slots__ = ("n_sources", "n_segments", "group_ids", "_perm", "_starts",
+                 "_identity", "_perm_identity")
+
+    def __init__(self, targets: np.ndarray):
+        targets = as_index_array(targets)
+        if targets.ndim != 1:
+            raise ValueError(f"targets must be 1-D, got ndim={targets.ndim}")
+        m = targets.shape[0]
+        self.n_sources = int(m)
+        if m == 0:
+            self.group_ids = targets[:0]
+            self._perm = np.zeros(0, dtype=np.intp)
+            self._starts = np.zeros(0, dtype=np.intp)
+            self.n_segments = 0
+            self._identity = True
+            self._perm_identity = True
+            return
+        perm = np.argsort(targets, kind="stable")
+        # Sorted-input fast path: memoization-tree nodes keep their rows in
+        # lexicographic order, so a child projecting onto a *prefix* of the
+        # parent's modes sees non-decreasing targets — the gather permutation
+        # is the identity and reduce() can skip the fancy-index pass.
+        self._perm_identity = bool(
+            np.array_equal(perm, np.arange(m, dtype=perm.dtype))
+        )
+        sorted_targets = targets[perm] if not self._perm_identity else targets
+        boundary = np.empty(m, dtype=bool)
+        boundary[0] = True
+        np.not_equal(sorted_targets[1:], sorted_targets[:-1], out=boundary[1:])
+        starts = np.flatnonzero(boundary)
+        self.group_ids = sorted_targets[starts]
+        self.n_segments = int(starts.shape[0])
+        # Identity fast path: every source row its own segment, already in
+        # order.  Then reduce() is a no-op view of the input.
+        self._identity = self.n_segments == m and self._perm_identity
+        self._perm = perm
+        self._starts = starts
+
+    def reduce(self, values: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Sum source ``values`` (``m x R`` or ``m``) into segment rows.
+
+        Returns a ``u x R`` (or length-``u``) array whose ``k``-th row is the
+        sum of the source rows mapped to ``group_ids[k]``.
+        """
+        values = np.asarray(values)
+        if values.shape[0] != self.n_sources:
+            raise ValueError(
+                f"values has {values.shape[0]} rows, plan expects {self.n_sources}"
+            )
+        if self.n_sources == 0:
+            shape = (0,) + values.shape[1:]
+            return np.zeros(shape, dtype=values.dtype) if out is None else out
+        if self._identity:
+            if out is not None:
+                out[...] = values
+                return out
+            return values.copy()
+        gathered = values if self._perm_identity else values[self._perm]
+        result = np.add.reduceat(gathered, self._starts, axis=0)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+    def scatter_into(self, values: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Reduce ``values`` and add the segment sums into ``out[group_ids]``.
+
+        ``out`` must be writable with first dimension covering
+        ``group_ids.max()``.  Rows of ``out`` not named by any group id are
+        left untouched.  Returns ``out``.
+        """
+        if self.n_sources == 0:
+            return out
+        reduced = self.reduce(values)
+        out[self.group_ids] += reduced
+        return out
+
+    def chunks(self, n_chunks: int) -> list[tuple[slice, slice]]:
+        """Split the plan into segment-aligned chunks for parallel reduction.
+
+        Returns up to ``n_chunks`` pairs ``(source_slice, segment_slice)``:
+        applying :meth:`reduce_chunk` to a source slice produces exactly the
+        rows ``segment_slice`` of the full :meth:`reduce` output, so workers
+        write disjoint output ranges with no reduction conflicts.
+        """
+        if n_chunks < 1:
+            raise ValueError("n_chunks must be >= 1")
+        if self.n_segments == 0:
+            return []
+        n_chunks = min(n_chunks, self.n_segments)
+        bounds = np.linspace(0, self.n_segments, n_chunks + 1).astype(np.intp)
+        out = []
+        for k in range(n_chunks):
+            seg_lo, seg_hi = int(bounds[k]), int(bounds[k + 1])
+            if seg_lo == seg_hi:
+                continue
+            src_lo = int(self._starts[seg_lo])
+            src_hi = (
+                int(self._starts[seg_hi])
+                if seg_hi < self.n_segments
+                else self.n_sources
+            )
+            out.append((slice(src_lo, src_hi), slice(seg_lo, seg_hi)))
+        return out
+
+    def reduce_chunk(
+        self, values: np.ndarray, source_slice: slice, segment_slice: slice
+    ) -> np.ndarray:
+        """Reduce one chunk from :meth:`chunks`.
+
+        ``values`` is the full ``m x R`` source array; the gather for the
+        chunk's rows happens here so callers can share one input array across
+        workers.
+        """
+        if self.n_sources == 0:
+            return values[:0]
+        if self._perm_identity:
+            gathered = values[source_slice]
+        else:
+            gathered = values[self._perm[source_slice]]
+        local_starts = self._starts[segment_slice] - source_slice.start
+        return np.add.reduceat(gathered, local_starts, axis=0)
+
+    def sorted_sources(self, source_slice: slice) -> np.ndarray:
+        """Source row ids (pre-gather order) for one chunk's slice."""
+        return self._perm[source_slice]
+
+    def local_starts(self, source_slice: slice, segment_slice: slice) -> np.ndarray:
+        """Segment start offsets relative to a chunk's source slice."""
+        return self._starts[segment_slice] - source_slice.start
+
+    def index_nbytes(self) -> int:
+        """Bytes held by the plan's index structures (for the memory model)."""
+        return int(
+            self._perm.nbytes + self._starts.nbytes
+            + self.group_ids.shape[0] * INDEX_ITEMSIZE
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SegmentPlan(n_sources={self.n_sources}, "
+            f"n_segments={self.n_segments}, identity={self._identity})"
+        )
+
+
+def segment_sum(values: np.ndarray, targets: np.ndarray, n_targets: int) -> np.ndarray:
+    """One-shot dense segmented sum: rows of ``values`` into ``n_targets`` bins.
+
+    Unlike :class:`SegmentPlan` the output has exactly ``n_targets`` rows
+    (empty bins are zero).  Used where the mapping is not reused and the
+    target space is dense, e.g. scattering leaf values into a factor-shaped
+    MTTKRP output.
+    """
+    values = np.asarray(values)
+    targets = np.asarray(targets)
+    if values.ndim == 1:
+        return np.bincount(targets, weights=values, minlength=n_targets).astype(
+            values.dtype, copy=False
+        )
+    out = np.zeros((n_targets,) + values.shape[1:], dtype=values.dtype)
+    np.add.at(out, targets, values)
+    return out

@@ -1,0 +1,96 @@
+"""Semi-sparse tensors: sparse coordinates with dense ``R``-wide values.
+
+A semi-sparse tensor is the result of contracting a sparse tensor with one
+column each from several factor matrices, done simultaneously for all ``R``
+columns: the coordinate pattern is shared across the ``R`` contractions (they
+differ only in the multiplying vectors), so a node stores *one* index block
+and an ``nnz x R`` value matrix.  This is the memoized intermediate object of
+the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtypes import INDEX_DTYPE, VALUE_DTYPE, as_index_array, as_value_array
+
+
+class SemiSparseTensor:
+    """An intermediate contraction result.
+
+    Parameters
+    ----------
+    modes:
+        the tensor modes that remain sparse (sorted tuple of original mode
+        ids).
+    idx:
+        ``nnz x len(modes)`` coordinate block over those modes, in
+        lexicographic order with unique rows.
+    vals:
+        ``nnz x R`` dense value matrix: column ``r`` holds the values of the
+        ``r``-th simultaneous contraction.
+    mode_sizes:
+        sizes of the kept modes, aligned with ``modes``.
+    """
+
+    __slots__ = ("modes", "idx", "vals", "mode_sizes")
+
+    def __init__(self, modes, idx, vals, mode_sizes, *, copy: bool = False):
+        self.modes = tuple(int(m) for m in modes)
+        self.idx = as_index_array(idx, copy=copy)
+        self.vals = as_value_array(vals, copy=copy)
+        self.mode_sizes = tuple(int(s) for s in mode_sizes)
+        if self.idx.ndim != 2 or self.idx.shape[1] != len(self.modes):
+            raise ValueError(
+                f"idx must be nnz x {len(self.modes)}, got shape {self.idx.shape}"
+            )
+        if self.vals.ndim != 2 or self.vals.shape[0] != self.idx.shape[0]:
+            raise ValueError(
+                f"vals must be nnz x R with nnz={self.idx.shape[0]}, got "
+                f"shape {self.vals.shape}"
+            )
+        if len(self.mode_sizes) != len(self.modes):
+            raise ValueError("mode_sizes must align with modes")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.idx.shape[0])
+
+    @property
+    def rank(self) -> int:
+        return int(self.vals.shape[1])
+
+    def nbytes(self) -> int:
+        return int(self.idx.nbytes + self.vals.nbytes)
+
+    def to_matrix(self, size: int | None = None) -> np.ndarray:
+        """For a single-mode tensor, scatter values into an ``I x R`` matrix.
+
+        This is the MTTKRP output when the node is a strategy leaf.
+        """
+        if len(self.modes) != 1:
+            raise ValueError(
+                f"to_matrix requires exactly one kept mode, have {self.modes}"
+            )
+        size = self.mode_sizes[0] if size is None else int(size)
+        out = np.zeros((size, self.rank), dtype=VALUE_DTYPE)
+        out[self.idx[:, 0]] = self.vals
+        return out
+
+    def to_dense_stack(self) -> np.ndarray:
+        """Densify as an array of shape ``mode_sizes + (R,)`` (tests only)."""
+        total = self.rank
+        for s in self.mode_sizes:
+            total *= s
+        if total > 50_000_000:
+            raise MemoryError("refusing to densify a large semi-sparse tensor")
+        out = np.zeros(self.mode_sizes + (self.rank,), dtype=VALUE_DTYPE)
+        if self.nnz:
+            out[tuple(self.idx.T)] = self.vals
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SemiSparseTensor(modes={self.modes}, nnz={self.nnz}, "
+            f"rank={self.rank})"
+        )

@@ -1,0 +1,79 @@
+"""Structural statistics of sparse tensors.
+
+The quantities the planner and the dataset registry care about: per-mode
+slice-frequency skew (fitted Zipf exponent), fiber/overlap profiles, and a
+one-stop summary used by ``python -m repro info``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .coo import CooTensor
+from .validate import check_mode
+
+
+def mode_skew(tensor: CooTensor, mode: int) -> float:
+    """Fitted Zipf exponent of the mode's slice-frequency distribution.
+
+    Sorts per-slice nonzero counts descending and fits ``log(count) =
+    c - a*log(rank)`` by least squares over the nonempty slices; ``a`` is
+    returned (0 = uniform, >1 = heavy hub structure).  Returns 0.0 when
+    fewer than two nonempty slices exist.
+    """
+    mode = check_mode(mode, tensor.ndim)
+    counts = tensor.slice_nnz(mode)
+    counts = np.sort(counts[counts > 0])[::-1].astype(np.float64)
+    if counts.shape[0] < 2:
+        return 0.0
+    ranks = np.arange(1, counts.shape[0] + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(counts)
+    slope = float(np.polyfit(x, y, 1)[0])
+    return max(-slope, 0.0)
+
+
+def used_slices(tensor: CooTensor, mode: int) -> int:
+    """Number of nonempty slices along ``mode``."""
+    mode = check_mode(mode, tensor.ndim)
+    return int((tensor.slice_nnz(mode) > 0).sum())
+
+
+def pairwise_overlap(tensor: CooTensor) -> dict[tuple[int, int], float]:
+    """nnz / distinct(projection) for every unordered mode pair.
+
+    Values above 1 mean contracting the *other* modes collapses coordinates
+    — the quantity memoization gains scale with.
+    """
+    from ..model.overlap import DistinctCounter
+
+    counter = DistinctCounter(tensor)
+    out: dict[tuple[int, int], float] = {}
+    for a in range(tensor.ndim):
+        for b in range(a + 1, tensor.ndim):
+            distinct = counter.count([a, b])
+            out[(a, b)] = tensor.nnz / max(distinct, 1)
+    return out
+
+
+def summary(tensor: CooTensor) -> dict:
+    """Structural summary: shape, sparsity, per-mode usage and skew."""
+    per_mode = []
+    for n in range(tensor.ndim):
+        per_mode.append({
+            "size": tensor.shape[n],
+            "used_slices": used_slices(tensor, n),
+            "skew": round(mode_skew(tensor, n), 3),
+            "max_slice_nnz": int(tensor.slice_nnz(n).max()) if tensor.nnz else 0,
+        })
+    overlaps = pairwise_overlap(tensor) if tensor.ndim >= 2 else {}
+    return {
+        "shape": tensor.shape,
+        "order": tensor.ndim,
+        "nnz": tensor.nnz,
+        "density": tensor.density,
+        "norm": tensor.norm(),
+        "coo_bytes": tensor.nbytes(),
+        "modes": per_mode,
+        "max_pairwise_overlap": max(overlaps.values()) if overlaps else 1.0,
+    }

@@ -1,0 +1,5 @@
+"""Reproduction experiments: one module per paper table/figure (E1-E9)."""
+
+from .common import DEFAULT_RANK, DEFAULT_SCALE, ExperimentResult
+
+__all__ = ["DEFAULT_RANK", "DEFAULT_SCALE", "ExperimentResult"]

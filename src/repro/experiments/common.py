@@ -1,0 +1,141 @@
+"""Shared infrastructure for the reproduction experiments (E1-E9).
+
+Each experiment module exposes ``run(scale, rank, ...) -> ExperimentResult``.
+``scale`` multiplies the registry datasets' nonzero counts so the full suite
+can run anywhere from smoke-test size (``scale=0.02``) to the registry
+reference size (``scale=1.0``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines import make_backend
+from ..core.coo import CooTensor
+from ..core.cpals import initialize_factors
+from ..model.report import format_table
+from ..perf.timer import time_callable
+from ..synth.datasets import load_dataset
+
+#: Default dataset scale for experiment runs (reference size = 1.0).
+DEFAULT_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+#: Default CP rank used throughout the evaluation (paper-typical).
+DEFAULT_RANK = 16
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure.
+
+    ``headers``/``rows`` carry the artifact's data; ``expected_shape``
+    states the qualitative claim being reproduced; ``observations`` holds
+    machine-checkable summary numbers (used by the integration tests and
+    EXPERIMENTS.md).
+    """
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    expected_shape: str
+    observations: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def table(self) -> str:
+        return format_table(
+            self.headers, self.rows, title=f"{self.exp_id}: {self.title}"
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "exp_id": self.exp_id,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "expected_shape": self.expected_shape,
+                "observations": self.observations,
+                "notes": self.notes,
+            },
+            indent=2,
+            default=_json_default,
+        )
+
+
+def _json_default(obj):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON serializable: {type(obj)}")
+
+
+def load_scaled(name: str, scale: float) -> CooTensor:
+    """Registry dataset at the experiment scale."""
+    return load_dataset(name, scale=scale)
+
+
+def iteration_seconds(
+    tensor: CooTensor,
+    backend_name_or_factory,
+    rank: int,
+    *,
+    repeats: int = 3,
+    random_state: int = 0,
+) -> float:
+    """Best-of wall time for one full CP-ALS iteration's MTTKRPs + updates.
+
+    Timing covers the steady-state numeric work (the quantity the paper
+    plots); setup (symbolic phase / CSF construction) is excluded here and
+    measured separately by E9a.
+    """
+    if callable(backend_name_or_factory):
+        backend = backend_name_or_factory(tensor)
+    else:
+        backend = make_backend(backend_name_or_factory, tensor)
+    factors = initialize_factors(tensor, rank, "random", random_state)
+    backend.set_factors(factors)
+    mode_order = tuple(backend.mode_order)
+
+    def one_iteration():
+        for n in mode_order:
+            backend.mttkrp(n)
+            # Reinstalling the same factor exercises the true invalidation
+            # path while keeping values numerically stable across repeats.
+            backend.update_factor(n, factors[n])
+
+    return time_callable(one_iteration, repeats=repeats, warmup=1)
+
+
+def setup_seconds(tensor: CooTensor, backend_name: str, rank: int,
+                  random_state: int = 0) -> float:
+    """Wall time of backend construction + first factor installation.
+
+    For the memoized engine this is the symbolic phase; for SPLATT the CSF
+    builds (forced eagerly via one MTTKRP per mode).
+    """
+    import time
+
+    t0 = time.perf_counter()
+    backend = make_backend(backend_name, tensor)
+    factors = initialize_factors(tensor, rank, "random", random_state)
+    backend.set_factors(factors)
+    if backend_name == "splatt":
+        for n in range(tensor.ndim):
+            backend.csf_for_mode(n)
+    return time.perf_counter() - t0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(values))))

@@ -1,0 +1,175 @@
+"""E10 — extension workloads on the memoized engine (beyond the paper).
+
+The memoization framework claims to serve *any* MTTKRP-based algorithm.
+Three measurements back that up:
+
+* **E10a** — completion-gradient kernel: all ``N`` MTTKRPs with fixed
+  factors, comparing the engine's single-tree-sweep (``mttkrp_all``) against
+  per-mode recomputation without cross-mode reuse (star) and the plain COO
+  baseline.
+* **E10b** — restart amortization: wall time of ``k`` CP-ALS restarts with a
+  shared symbolic tree vs rebuilding it per restart.
+* **E10c** — nonnegative CP parity: per-iteration time of NCP-MU equals
+  CP-ALS on the same backend (the MTTKRP dominates; the update rule is
+  negligible), so memoization gains transfer 1:1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..algos.ncp import cp_nmu
+from ..baselines.coo_mttkrp import CooMttkrp
+from ..core.cpals import cp_als, initialize_factors
+from ..core.engine import MemoizedMttkrp
+from ..core.strategy import balanced_binary, star
+from ..core.symbolic import SymbolicTree
+from ..perf.timer import time_callable
+from .common import (DEFAULT_RANK, DEFAULT_SCALE, ExperimentResult,
+                     load_scaled)
+
+EXP_ID = "E10"
+
+
+def run_gradient_kernel(
+    scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
+    names=("delicious", "enron"), repeats: int = 3,
+) -> ExperimentResult:
+    """E10a: all-modes MTTKRP (the completion gradient) per method."""
+    from ..model.calibrate import calibrate_machine
+    from ..model.planner import plan
+
+    machine = calibrate_machine()
+    rows = []
+    sweep_speedup = {}
+    for name in names:
+        tensor = load_scaled(name, scale)
+        factors = initialize_factors(tensor, rank, random_state=0)
+
+        chosen = plan(tensor, rank, machine=machine).best.strategy
+        bdt_engine = MemoizedMttkrp(tensor, chosen, factors)
+        star_engine = MemoizedMttkrp(tensor, star(tensor.ndim), factors)
+        coo = CooMttkrp(tensor)
+        coo.set_factors(factors)
+
+        def sweep():
+            bdt_engine.invalidate_all()
+            bdt_engine.mttkrp_all()
+
+        def per_mode_star():
+            star_engine.invalidate_all()
+            star_engine.mttkrp_all()
+
+        def per_mode_coo():
+            for n in range(tensor.ndim):
+                coo.mttkrp(n)
+
+        t_sweep = time_callable(sweep, repeats=repeats)
+        t_star = time_callable(per_mode_star, repeats=repeats)
+        t_coo = time_callable(per_mode_coo, repeats=repeats)
+        sweep_speedup[name] = t_star / t_sweep
+        rows.append([
+            name,
+            round(t_coo * 1e3, 3),
+            round(t_star * 1e3, 3),
+            round(t_sweep * 1e3, 3),
+            chosen.name,
+            round(t_coo / t_sweep, 2),
+            round(sweep_speedup[name], 2),
+        ])
+    return ExperimentResult(
+        exp_id="E10a",
+        title="Completion gradient: all-modes MTTKRP per evaluation (ms)",
+        headers=["dataset", "coo per-mode", "engine star", "adaptive sweep",
+                 "chosen", "vs coo", "vs star"],
+        rows=rows,
+        expected_shape=(
+            "With fixed factors, the tree sweep shares every internal node "
+            "across all N gradients, beating per-mode recomputation by more "
+            "than the ALS-mode gain (no invalidation between modes)."
+        ),
+        observations={"sweep_speedup": sweep_speedup},
+    )
+
+
+def run_restart_amortization(
+    scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
+    name: str = "flickr", n_restarts: int = 4, n_iter: int = 3,
+) -> ExperimentResult:
+    """E10b: shared vs rebuilt symbolic trees across restarts."""
+    tensor = load_scaled(name, scale)
+    strategy = balanced_binary(tensor.ndim)
+
+    t0 = time.perf_counter()
+    shared = SymbolicTree(tensor, strategy)
+    for seed in range(n_restarts):
+        engine = MemoizedMttkrp(tensor, strategy, symbolic=shared)
+        cp_als(tensor, rank, engine_factory=lambda t, e=engine: e,
+               n_iter_max=n_iter, tol=0.0, random_state=seed)
+    t_shared = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for seed in range(n_restarts):
+        cp_als(tensor, rank, strategy=strategy, n_iter_max=n_iter, tol=0.0,
+               random_state=seed)
+    t_rebuilt = time.perf_counter() - t0
+
+    saving = t_rebuilt / t_shared
+    rows = [[name, n_restarts, n_iter, round(t_rebuilt, 3),
+             round(t_shared, 3), round(saving, 2)]]
+    return ExperimentResult(
+        exp_id="E10b",
+        title="Symbolic-tree sharing across CP-ALS restarts (seconds)",
+        headers=["dataset", "restarts", "iters/run", "rebuilt", "shared",
+                 "speedup"],
+        rows=rows,
+        expected_shape=(
+            "Sharing the symbolic tree across restarts removes the "
+            "preprocessing from all but the first run; the saving grows as "
+            "runs get shorter (rank/restart searches)."
+        ),
+        observations={"restart_speedup": saving},
+    )
+
+
+def run_ncp_parity(
+    scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
+    name: str = "choa", n_iter: int = 5,
+) -> ExperimentResult:
+    """E10c: NCP-MU and CP-ALS per-iteration times on the same backend."""
+    tensor = load_scaled(name, scale)
+    t0 = time.perf_counter()
+    als = cp_als(tensor, rank, strategy="bdt", n_iter_max=n_iter, tol=0.0,
+                 random_state=0)
+    t_als = (time.perf_counter() - t0) / n_iter
+    t0 = time.perf_counter()
+    nmu = cp_nmu(tensor, rank, strategy="bdt", n_iter_max=n_iter, tol=0.0,
+                 random_state=0)
+    t_nmu = (time.perf_counter() - t0) / n_iter
+    ratio = t_nmu / t_als
+    rows = [[name, round(t_als * 1e3, 3), round(t_nmu * 1e3, 3),
+             round(ratio, 2), round(als.fit, 4), round(nmu.fit, 4)]]
+    return ExperimentResult(
+        exp_id="E10c",
+        title="Nonnegative CP (MU) vs CP-ALS per-iteration time (ms)",
+        headers=["dataset", "als ms/iter", "nmu ms/iter", "nmu/als",
+                 "als fit", "nmu fit"],
+        rows=rows,
+        expected_shape=(
+            "The update rule is a rounding error next to the MTTKRP: "
+            "NCP-MU iteration time within ~1.3x of CP-ALS on the same "
+            "memoized backend, so memoization speedups carry over."
+        ),
+        observations={"time_ratio": ratio},
+    )
+
+
+def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
+        repeats: int = 3) -> list[ExperimentResult]:
+    return [
+        run_gradient_kernel(scale, rank, repeats=repeats),
+        run_restart_amortization(scale, rank),
+        run_ncp_parity(scale, rank),
+    ]

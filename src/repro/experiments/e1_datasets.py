@@ -1,0 +1,66 @@
+"""E1 — dataset statistics table (paper's Table 1 analog).
+
+Reports, per benchmark dataset: order, mode sizes, nonzeros, density, and the
+mean index-overlap (compression) factor of two-mode projections — the
+structural property that determines how much memoization can shrink
+intermediates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..model.overlap import DistinctCounter
+from ..synth.datasets import dataset_names, get_spec
+from .common import DEFAULT_SCALE, ExperimentResult, load_scaled
+
+EXP_ID = "E1"
+TITLE = "Dataset statistics (real-tensor analogs + synthetic sweeps)"
+
+
+def two_mode_compression(tensor) -> float:
+    """Mean nnz / distinct(projection) over adjacent two-mode projections."""
+    counter = DistinctCounter(tensor)
+    ratios = []
+    for a in range(tensor.ndim - 1):
+        distinct = counter.count([a, a + 1])
+        ratios.append(tensor.nnz / max(distinct, 1))
+    return float(np.mean(ratios))
+
+
+def run(scale: float = DEFAULT_SCALE, names=None) -> ExperimentResult:
+    names = list(names) if names is not None else dataset_names()
+    rows = []
+    compressions = {}
+    for name in names:
+        spec = get_spec(name)
+        tensor = load_scaled(name, scale)
+        comp = two_mode_compression(tensor)
+        compressions[name] = comp
+        rows.append([
+            name,
+            spec.analog_of or "synthetic",
+            tensor.ndim,
+            "x".join(str(s) for s in tensor.shape),
+            tensor.nnz,
+            tensor.density,
+            round(comp, 3),
+        ])
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["dataset", "analog of", "order", "shape", "nnz",
+                 "density", "2-mode overlap"],
+        rows=rows,
+        expected_shape=(
+            "Skewed real-tensor analogs show 2-mode overlap factors > 1 "
+            "(contraction shrinks intermediates); uniform randNd tensors "
+            "show overlap ~1 at these densities."
+        ),
+        observations={
+            "max_overlap": max(compressions.values()),
+            "skewed_mean_overlap": float(np.mean(
+                [v for k, v in compressions.items() if k.startswith("skew")]
+            )) if any(k.startswith("skew") for k in compressions) else None,
+        },
+    )

@@ -1,0 +1,77 @@
+"""E2 — MTTKRP operation counts vs tensor order (motivating figure).
+
+The core asymptotic claim: per CP-ALS iteration, non-memoized MTTKRP costs
+``N*(N-1)`` tensor contractions while a full memoization tree needs at most
+``N*ceil(log2 N)`` — so the flop ratio grows roughly as ``(N-1)/log2(N)``.
+Counts here are *measured* by the engine's operation counters (and the test
+suite separately asserts they equal the model's predictions).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.cpals import initialize_factors
+from ..core.engine import MemoizedMttkrp
+from ..core.strategy import balanced_binary, chain, star
+from ..perf.counters import counting
+from .common import DEFAULT_RANK, DEFAULT_SCALE, ExperimentResult, load_scaled
+
+EXP_ID = "E2"
+TITLE = "Measured MTTKRP flops per CP-ALS iteration vs tensor order"
+
+
+def measured_iteration_flops(tensor, strategy, rank) -> int:
+    engine = MemoizedMttkrp(
+        tensor, strategy, initialize_factors(tensor, rank, random_state=0)
+    )
+    factors = engine.factors
+    for _ in range(1):  # warm to steady state
+        for n in engine.mode_order:
+            engine.mttkrp(n)
+            engine.update_factor(n, factors[n])
+    with counting() as c:
+        for n in engine.mode_order:
+            engine.mttkrp(n)
+            engine.update_factor(n, factors[n])
+    return c.flops
+
+
+def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
+        orders=range(3, 9), family: str = "skew") -> ExperimentResult:
+    rows = []
+    speedups = {}
+    for order in orders:
+        tensor = load_scaled(f"{family}{order}d", scale)
+        f_star = measured_iteration_flops(tensor, star(order), rank)
+        f_chain = measured_iteration_flops(
+            tensor, chain(order, order - 2), rank
+        )
+        f_bdt = measured_iteration_flops(tensor, balanced_binary(order), rank)
+        ratio = f_star / f_bdt
+        speedups[order] = ratio
+        rows.append([
+            order,
+            tensor.nnz,
+            f_star,
+            f_chain,
+            f_bdt,
+            round(ratio, 2),
+            round((order - 1) / math.ceil(math.log2(order)), 2),
+        ])
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["order", "nnz", "star flops", "chain flops", "bdt flops",
+                 "star/bdt", "(N-1)/ceil(log2 N)"],
+        rows=rows,
+        expected_shape=(
+            "star/bdt flop ratio grows with order, at least as fast as "
+            "(N-1)/ceil(log2 N) (faster when contraction shrinks "
+            "intermediates); chain sits between star and bdt."
+        ),
+        observations={
+            "flop_ratio_by_order": speedups,
+            "ratio_grows": speedups[max(orders)] > speedups[min(orders)],
+        },
+    )

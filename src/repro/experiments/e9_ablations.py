@@ -1,0 +1,189 @@
+"""E9 — ablations: symbolic amortization, skew sensitivity, planner value.
+
+Three supporting analyses:
+
+* **E9a** — the symbolic (preprocessing) phase is a one-time cost; report it
+  against the per-iteration saving and the break-even iteration count.
+* **E9b** — memoization gains grow with index skew: sweep the Zipf exponent
+  at fixed order/nnz and report the star/bdt flop ratio.
+* **E9c** — the planner vs every fixed strategy across all datasets: count
+  how often each fixed choice loses to the adaptive pick (the reason a
+  *model-driven* selection beats any hard-coded default).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.engine import MemoizedMttkrp
+from ..core.strategy import balanced_binary, chain, star, two_way
+from ..core.symbolic import SymbolicTree
+from ..model.calibrate import calibrate_machine
+from ..model.cost import cost_from_symbolic
+from ..model.planner import plan
+from ..synth.datasets import dataset_names
+from ..synth.skewed import skewed_random_tensor
+from .common import (DEFAULT_RANK, DEFAULT_SCALE, ExperimentResult,
+                     iteration_seconds, load_scaled)
+
+EXP_ID = "E9"
+
+
+def run_symbolic_amortization(
+    scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK, names=None,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """E9a: symbolic-phase cost vs per-iteration saving."""
+    names = list(names) if names is not None else dataset_names(analogs_only=True)
+    rows = []
+    breakevens = {}
+    for name in names:
+        tensor = load_scaled(name, scale)
+        strategy = balanced_binary(tensor.ndim)
+        t0 = time.perf_counter()
+        SymbolicTree(tensor, strategy)
+        symbolic = time.perf_counter() - t0
+        t_star = iteration_seconds(
+            tensor, lambda t: MemoizedMttkrp(t, star(tensor.ndim)), rank,
+            repeats=repeats,
+        )
+        t_bdt = iteration_seconds(
+            tensor, lambda t: MemoizedMttkrp(t, strategy), rank,
+            repeats=repeats,
+        )
+        saving = t_star - t_bdt
+        if saving > 0.05 * t_star:
+            breakeven = symbolic / saving
+            breakevens[name] = breakeven
+            shown = round(breakeven, 1)
+        else:
+            # Memoization does not pay on this tensor (the planner would
+            # pick the star here, which needs no symbolic tree at all).
+            breakevens[name] = None
+            shown = "n/a"
+        rows.append([
+            name,
+            round(symbolic * 1e3, 3),
+            round(t_star * 1e3, 3),
+            round(t_bdt * 1e3, 3),
+            shown,
+        ])
+    return ExperimentResult(
+        exp_id="E9a",
+        title="Symbolic-phase amortization (breakeven iterations)",
+        headers=["dataset", "symbolic ms", "star ms/iter", "bdt ms/iter",
+                 "breakeven iters"],
+        rows=rows,
+        expected_shape=(
+            "Symbolic preprocessing amortizes within a small number of "
+            "CP-ALS iterations (typical runs take tens of iterations and "
+            "multiple restarts reuse the same symbolic tree)."
+        ),
+        observations={"breakeven_by_dataset": breakevens},
+    )
+
+
+def run_skew_sensitivity(
+    nnz: int = 40_000, order: int = 4, dim: int = 300,
+    exponents=(0.0, 0.5, 1.0, 1.25, 1.5), rank: int = DEFAULT_RANK,
+) -> ExperimentResult:
+    """E9b: memoization gain as a function of index skew."""
+    rows = []
+    ratios = {}
+    for a in exponents:
+        tensor = skewed_random_tensor(
+            (dim,) * order, nnz, a, random_state=17
+        )
+        star_cost = cost_from_symbolic(
+            SymbolicTree(tensor, star(order)), rank
+        )
+        bdt_sym = SymbolicTree(tensor, balanced_binary(order))
+        bdt_cost = cost_from_symbolic(bdt_sym, rank)
+        ratio = star_cost.flops_per_iteration / bdt_cost.flops_per_iteration
+        ratios[a] = ratio
+        mean_compression = sum(
+            bdt_sym.compression_ratios().values()
+        ) / max(len(bdt_sym.compression_ratios()), 1)
+        rows.append([
+            a,
+            round(mean_compression, 3),
+            star_cost.flops_per_iteration,
+            bdt_cost.flops_per_iteration,
+            round(ratio, 2),
+        ])
+    exps = list(exponents)
+    return ExperimentResult(
+        exp_id="E9b",
+        title=f"Skew sensitivity (order={order}, nnz={nnz})",
+        headers=["zipf exponent", "mean node compression", "star flops",
+                 "bdt flops", "flop ratio"],
+        rows=rows,
+        expected_shape=(
+            "Higher skew -> more index overlap -> intermediates shrink -> "
+            "the star/bdt flop ratio grows monotonically with the exponent."
+        ),
+        observations={
+            "ratio_by_exponent": ratios,
+            "monotone": all(
+                ratios[exps[i + 1]] >= ratios[exps[i]] - 0.05
+                for i in range(len(exps) - 1)
+            ),
+        },
+    )
+
+
+def run_planner_vs_fixed(
+    scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK, names=None,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """E9c: adaptive selection vs every fixed strategy."""
+    names = list(names) if names is not None else dataset_names(analogs_only=True)
+    machine = calibrate_machine()
+    fixed = {"star": star, "two_way": two_way,
+             "chain": lambda n: chain(n, n - 2), "bdt": balanced_binary}
+    rows = []
+    losses = {k: 0 for k in fixed}
+    for name in names:
+        tensor = load_scaled(name, scale)
+        chosen = plan(tensor, rank, machine=machine).best.strategy
+        t_auto = iteration_seconds(
+            tensor, lambda t: MemoizedMttkrp(t, chosen), rank, repeats=repeats
+        )
+        times = {}
+        for label, gen in fixed.items():
+            strat = gen(tensor.ndim)
+            times[label] = iteration_seconds(
+                tensor, lambda t, s=strat: MemoizedMttkrp(t, s), rank,
+                repeats=repeats,
+            )
+            if times[label] > t_auto * 1.05:
+                losses[label] += 1
+        rows.append([
+            name,
+            round(t_auto * 1e3, 3),
+            *(round(times[k] * 1e3, 3) for k in fixed),
+            chosen.name,
+        ])
+    return ExperimentResult(
+        exp_id="E9c",
+        title="Adaptive planner vs fixed strategies (ms/iter)",
+        headers=["dataset", "adaptive", *fixed.keys(), "chosen"],
+        rows=rows,
+        expected_shape=(
+            "No single fixed strategy wins everywhere; each loses clearly "
+            "to the adaptive pick on at least one dataset, while the "
+            "adaptive engine is never far from the per-dataset best."
+        ),
+        observations={"losses_by_fixed_strategy": losses,
+                      "n_datasets": len(names)},
+    )
+
+
+def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
+        repeats: int = 3) -> list[ExperimentResult]:
+    """All three ablations."""
+    return [
+        run_symbolic_amortization(scale, rank, repeats=repeats),
+        run_skew_sensitivity(rank=rank),
+        run_planner_vs_fixed(scale, rank, repeats=repeats),
+    ]

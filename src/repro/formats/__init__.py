@@ -1,0 +1,6 @@
+"""Alternative sparse tensor storage formats."""
+
+from .csf import CsfTensor, default_mode_order
+from .hicoo import HicooTensor
+
+__all__ = ["CsfTensor", "default_mode_order", "HicooTensor"]

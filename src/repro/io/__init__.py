@@ -1,0 +1,8 @@
+"""Tensor I/O: FROSTT text format, binary caching, model serialization."""
+
+from .cache import cached_dataset, load_npz, save_npz
+from .frostt import read_tns, write_tns
+from .model import load_model, save_model
+
+__all__ = ["cached_dataset", "load_npz", "save_npz", "read_tns",
+           "write_tns", "load_model", "save_model"]

@@ -1,0 +1,50 @@
+"""Binary tensor cache (``.npz``): fast reload of generated datasets."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.coo import CooTensor
+from ..core.dtypes import INDEX_DTYPE, VALUE_DTYPE
+
+
+def save_npz(tensor: CooTensor, path) -> None:
+    """Save a tensor's coordinate block, values, and shape."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(
+        path,
+        idx=tensor.idx,
+        vals=tensor.vals,
+        shape=np.asarray(tensor.shape, dtype=INDEX_DTYPE),
+    )
+
+
+def load_npz(path) -> CooTensor:
+    """Load a tensor saved by :func:`save_npz`."""
+    with np.load(path) as data:
+        for key in ("idx", "vals", "shape"):
+            if key not in data:
+                raise ValueError(f"{path}: missing array {key!r}")
+        return CooTensor(
+            data["idx"].astype(INDEX_DTYPE),
+            data["vals"].astype(VALUE_DTYPE),
+            tuple(int(s) for s in data["shape"]),
+        )
+
+
+def cached_dataset(name: str, cache_dir, *, scale: float = 1.0) -> CooTensor:
+    """Load a registry dataset through an on-disk cache."""
+    from ..synth.datasets import load_dataset
+
+    os.makedirs(cache_dir, exist_ok=True)
+    fname = f"{name}_scale{scale:g}.npz"
+    path = os.path.join(os.fspath(cache_dir), fname)
+    if os.path.exists(path):
+        return load_npz(path)
+    tensor = load_dataset(name, scale=scale)
+    save_npz(tensor, path)
+    return tensor

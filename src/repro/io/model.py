@@ -1,0 +1,42 @@
+"""Serialization of fitted CP models (Kruskal tensors)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.dtypes import VALUE_DTYPE
+from ..core.kruskal import KruskalTensor
+
+
+def save_model(model: KruskalTensor, path) -> None:
+    """Write a Kruskal model to a compressed ``.npz``.
+
+    Layout: ``weights`` plus ``factor_0 .. factor_{N-1}``; loadable by
+    :func:`load_model` and by plain ``np.load`` from other tools.
+    """
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    arrays = {"weights": model.weights}
+    for n, U in enumerate(model.factors):
+        arrays[f"factor_{n}"] = U
+    np.savez_compressed(path, **arrays)
+
+
+def load_model(path) -> KruskalTensor:
+    """Load a Kruskal model saved by :func:`save_model`."""
+    with np.load(path) as data:
+        if "weights" not in data:
+            raise ValueError(f"{path}: missing 'weights' array")
+        factors = []
+        n = 0
+        while f"factor_{n}" in data:
+            factors.append(data[f"factor_{n}"].astype(VALUE_DTYPE))
+            n += 1
+        if not factors:
+            raise ValueError(f"{path}: no factor_<n> arrays found")
+        return KruskalTensor(
+            data["weights"].astype(VALUE_DTYPE), factors, copy=False
+        )

@@ -1,0 +1,21 @@
+"""Dense multilinear-algebra kernels used by CP-ALS."""
+
+from .gram import GramCache, gram, hadamard_grams
+from .innerprod import innerprod_from_mttkrp, sparse_kruskal_innerprod
+from .khatri_rao import khatri_rao, khatri_rao_rows
+from .norms import column_norms, normalize_columns
+from .solve import psd_pinv, solve_normal_equations
+
+__all__ = [
+    "GramCache",
+    "gram",
+    "hadamard_grams",
+    "innerprod_from_mttkrp",
+    "sparse_kruskal_innerprod",
+    "khatri_rao",
+    "khatri_rao_rows",
+    "column_norms",
+    "normalize_columns",
+    "psd_pinv",
+    "solve_normal_equations",
+]

@@ -1,0 +1,64 @@
+"""Gram matrices and their Hadamard combinations (the ``H^(n)`` matrices)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def gram(U: np.ndarray) -> np.ndarray:
+    """``U.T @ U`` as a symmetric ``R x R`` matrix."""
+    G = U.T @ U
+    # Enforce exact symmetry so downstream Cholesky/eigh treatment is stable.
+    return (G + G.T) * 0.5
+
+
+def hadamard_grams(grams: Sequence[np.ndarray], skip: int | None = None) -> np.ndarray:
+    """Element-wise product of Gram matrices, optionally skipping one.
+
+    This is ``H^(n) = *_{i != n} (U^(i)^T U^(i))`` from CP-ALS; with
+    ``skip=None`` it is the full Hadamard product over all modes (used by the
+    Kruskal-tensor norm).
+    """
+    grams = list(grams)
+    if not grams:
+        raise ValueError("hadamard_grams requires at least one Gram matrix")
+    if skip is not None and not 0 <= skip < len(grams):
+        raise ValueError(f"skip={skip} out of range for {len(grams)} grams")
+    out: np.ndarray | None = None
+    for i, G in enumerate(grams):
+        if i == skip:
+            continue
+        out = G.copy() if out is None else out * G
+    if out is None:
+        # skip removed the only matrix: identity of the Hadamard monoid.
+        r = grams[0].shape[0]
+        return np.ones((r, r), dtype=grams[0].dtype)
+    return out
+
+
+class GramCache:
+    """Tracks per-mode Gram matrices, recomputing only on factor update.
+
+    CP-ALS touches ``H^(n)`` every sub-iteration but only one factor changes
+    between touches; caching the per-mode Grams turns the Hadamard combination
+    into the only per-sub-iteration cost.
+    """
+
+    def __init__(self, factors: Sequence[np.ndarray]):
+        self._grams = [gram(U) for U in factors]
+
+    def update(self, mode: int, U: np.ndarray) -> None:
+        """Recompute the Gram of one mode after its factor changed."""
+        self._grams[mode] = gram(U)
+
+    def combined(self, skip: int | None = None) -> np.ndarray:
+        """Hadamard product of the cached Grams, optionally skipping a mode."""
+        return hadamard_grams(self._grams, skip=skip)
+
+    def __getitem__(self, mode: int) -> np.ndarray:
+        return self._grams[mode]
+
+    def __len__(self) -> int:
+        return len(self._grams)

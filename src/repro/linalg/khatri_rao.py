@@ -1,0 +1,57 @@
+"""Khatri-Rao (column-wise Kronecker) products."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def khatri_rao(matrices: Sequence[np.ndarray], *, reverse: bool = False) -> np.ndarray:
+    """Khatri-Rao product of a sequence of matrices with equal column counts.
+
+    For inputs ``A_1 (I_1 x R), ..., A_k (I_k x R)`` returns the
+    ``(prod I_j) x R`` matrix whose ``r``-th column is
+    ``A_1[:, r] (x) ... (x) A_k[:, r]`` (Kronecker), with row index running
+    row-major over ``(i_1, ..., i_k)``.
+
+    ``reverse=True`` processes the matrices in reverse order (the convention
+    used by some MTTKRP formulations; equivalent to permuting the inputs).
+    """
+    mats = list(matrices)
+    if not mats:
+        raise ValueError("khatri_rao requires at least one matrix")
+    if reverse:
+        mats = mats[::-1]
+    ranks = {m.shape[1] for m in mats}
+    if len(ranks) != 1:
+        raise ValueError(f"inconsistent column counts: {sorted(ranks)}")
+    rank = ranks.pop()
+    out = mats[0]
+    for m in mats[1:]:
+        # (I x R) , (J x R) -> (I*J x R) via broadcasting.
+        out = (out[:, None, :] * m[None, :, :]).reshape(-1, rank)
+    return np.ascontiguousarray(out)
+
+
+def khatri_rao_rows(
+    matrices: Sequence[np.ndarray], rows: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Hadamard product of selected rows, one row set per matrix.
+
+    Computes ``prod_j A_j[rows[j], :]`` element-wise — the sparse-tensor view
+    of a Khatri-Rao product, evaluated only at the coordinates that matter.
+    Returns an ``m x R`` array where ``m = len(rows[j])`` for all ``j``.
+    """
+    mats = list(matrices)
+    rows = list(rows)
+    if len(mats) != len(rows):
+        raise ValueError("need exactly one row-index array per matrix")
+    if not mats:
+        raise ValueError("khatri_rao_rows requires at least one matrix")
+    out = mats[0][rows[0]]
+    if len(mats) > 1:
+        out = out.copy()
+        for m, r in zip(mats[1:], rows[1:]):
+            out *= m[r]
+    return out

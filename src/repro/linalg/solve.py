@@ -1,0 +1,44 @@
+"""Normal-equation solves for the CP-ALS factor update.
+
+The update is ``U^(n) = M^(n) H^(n)+`` where ``H^(n)`` is an ``R x R``
+Hadamard product of Gram matrices — symmetric positive *semi*-definite, and
+frequently ill-conditioned near convergence.  We solve via Cholesky when the
+matrix is comfortably positive definite and fall back to a truncated
+eigendecomposition pseudoinverse otherwise (matching the reference CP-ALS
+behaviour of Tensor Toolbox).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as sla
+
+#: Relative eigenvalue cutoff for the pseudoinverse fallback.
+PINV_RCOND = 1e-12
+
+
+def solve_normal_equations(M: np.ndarray, H: np.ndarray) -> np.ndarray:
+    """Solve ``U H = M`` for ``U`` with SPD-aware fallbacks.
+
+    Parameters
+    ----------
+    M : ``I x R`` MTTKRP result.
+    H : ``R x R`` symmetric PSD coefficient matrix.
+    """
+    H = np.asarray(H)
+    M = np.asarray(M)
+    if H.shape[0] != H.shape[1] or H.shape[0] != M.shape[1]:
+        raise ValueError(f"incompatible shapes M{M.shape} H{H.shape}")
+    try:
+        c, low = sla.cho_factor(H, check_finite=False)
+        return sla.cho_solve((c, low), M.T, check_finite=False).T
+    except (np.linalg.LinAlgError, sla.LinAlgError, ValueError):
+        return M @ psd_pinv(H)
+
+
+def psd_pinv(H: np.ndarray, rcond: float = PINV_RCOND) -> np.ndarray:
+    """Moore-Penrose pseudoinverse of a symmetric PSD matrix via ``eigh``."""
+    w, V = np.linalg.eigh((H + H.T) * 0.5)
+    cutoff = rcond * max(float(w[-1]), 0.0)
+    inv_w = np.where(w > cutoff, 1.0 / np.where(w > cutoff, w, 1.0), 0.0)
+    return (V * inv_w) @ V.T

@@ -1,0 +1,35 @@
+"""Performance model and the adaptive (model-driven) strategy planner."""
+
+from .calibrate import calibrate_machine, reset_calibration
+from .cost import (DEFAULT_MACHINE, CostReport, MachineModel,
+                   cost_from_symbolic, cost_report, iteration_flops_words,
+                   simulate_peak_value_bytes, symbolic_index_bytes)
+from .fit import WorkSample, collect_samples, fit_machine_model, fitted_machine
+from .overlap import DistinctCounter
+from .planner import PlannerReport, ScoredStrategy, plan
+from .search import greedy_tree, search_candidates
+from .report import format_table
+
+__all__ = [
+    "calibrate_machine",
+    "reset_calibration",
+    "DEFAULT_MACHINE",
+    "CostReport",
+    "MachineModel",
+    "cost_from_symbolic",
+    "cost_report",
+    "iteration_flops_words",
+    "simulate_peak_value_bytes",
+    "symbolic_index_bytes",
+    "DistinctCounter",
+    "WorkSample",
+    "collect_samples",
+    "fit_machine_model",
+    "fitted_machine",
+    "PlannerReport",
+    "ScoredStrategy",
+    "plan",
+    "greedy_tree",
+    "search_candidates",
+    "format_table",
+]

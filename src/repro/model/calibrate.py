@@ -1,0 +1,73 @@
+"""Machine calibration: fit the time model's alpha/beta on this host.
+
+The cost model's two constants are the per-flop cost of a streaming Hadamard
+multiply-accumulate and the per-word cost of an indexed gather — measured by
+micro-benchmarks shaped exactly like the engine's inner kernels.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.dtypes import VALUE_DTYPE
+from .cost import MachineModel
+
+_cached: MachineModel | None = None
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate_machine(
+    n_elements: int = 2_000_000, rank: int = 16, repeats: int = 3,
+    *, force: bool = False,
+) -> MachineModel:
+    """Measure alpha (per flop) and beta (per word) on this machine.
+
+    Results are cached per process; pass ``force=True`` to re-measure.
+    """
+    global _cached
+    if _cached is not None and not force:
+        return _cached
+    rng = np.random.default_rng(0)
+    rows = n_elements // rank
+    a = rng.random((rows, rank), dtype=VALUE_DTYPE)
+    b = rng.random((rows, rank), dtype=VALUE_DTYPE)
+    out = np.empty_like(a)
+
+    # alpha: streaming multiply, one flop per element.
+    def mul():
+        np.multiply(a, b, out=out)
+
+    mul()  # warm caches / allocator
+    alpha = _best_of(mul, repeats) / (rows * rank)
+
+    # beta: random-row gather, one word per element read plus one written.
+    gather_rows = rng.integers(0, rows, size=rows)
+
+    def gather():
+        out[...] = a[gather_rows]
+
+    gather()
+    beta = _best_of(gather, repeats) / (2 * rows * rank)
+
+    _cached = MachineModel(
+        alpha_per_flop=float(max(alpha, 1e-12)),
+        beta_per_word=float(max(beta, 1e-12)),
+        name="calibrated",
+    )
+    return _cached
+
+
+def reset_calibration() -> None:
+    """Drop the cached calibration (tests)."""
+    global _cached
+    _cached = None

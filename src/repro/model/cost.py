@@ -1,0 +1,197 @@
+"""Analytic cost model for memoization strategies.
+
+Given a strategy tree and the nonzero count of every intermediate node, the
+model predicts — exactly, by construction — the flop and word counts that the
+engine's operation counters will report for one CP-ALS iteration, plus the
+peak memory held by memoized value matrices and symbolic index structures.
+Predicted wall-clock time is a two-parameter linear model
+``alpha * flops + beta * words`` calibrated per machine
+(:mod:`repro.model.calibrate`).
+
+The flop/word conventions are shared with
+:func:`repro.core.engine.contraction_work`; the test suite asserts the
+model's per-iteration predictions equal the engine's measured counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.dtypes import INDEX_ITEMSIZE, VALUE_ITEMSIZE
+from ..core.engine import contraction_work
+from ..core.strategy import MemoStrategy
+from ..core.symbolic import SymbolicTree
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Two-parameter time model: seconds = alpha*flops + beta*words."""
+
+    alpha_per_flop: float
+    beta_per_word: float
+    name: str = "generic"
+
+    def seconds(self, flops: float, words: float) -> float:
+        return self.alpha_per_flop * flops + self.beta_per_word * words
+
+
+#: Rough default calibration for a modern x86 core running NumPy kernels.
+#: Use :func:`repro.model.calibrate.calibrate_machine` for measured values.
+DEFAULT_MACHINE = MachineModel(
+    alpha_per_flop=2.5e-10, beta_per_word=4.0e-10, name="default"
+)
+
+
+@dataclass
+class CostReport:
+    """Predicted per-iteration cost of one strategy on one tensor.
+
+    Attributes
+    ----------
+    strategy: the evaluated strategy.
+    rank: CP rank assumed.
+    flops_per_iteration / words_per_iteration:
+        work for one full CP-ALS iteration (every non-root node rebuilt
+        once, every leaf scattered once).
+    peak_value_bytes:
+        maximum bytes of simultaneously live memoized value matrices under
+        the strategy's mode schedule.
+    index_bytes:
+        bytes of symbolic structures (index blocks + reduction plans),
+        allocated once and held for the run's lifetime.
+    node_nnz: per-node intermediate nonzero counts (model input).
+    predicted_seconds: ``machine.seconds(flops, words)``.
+    """
+
+    strategy: MemoStrategy
+    rank: int
+    flops_per_iteration: int
+    words_per_iteration: int
+    peak_value_bytes: int
+    index_bytes: int
+    node_nnz: list[int]
+    predicted_seconds: float
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Peak transient values + persistent index structures."""
+        return self.peak_value_bytes + self.index_bytes
+
+    def summary(self) -> str:
+        return (
+            f"{self.strategy.name:<14s} flops/iter={self.flops_per_iteration:>14,d} "
+            f"words/iter={self.words_per_iteration:>14,d} "
+            f"peak_mem={self.total_memory_bytes / 1e6:>9.2f}MB "
+            f"pred={self.predicted_seconds * 1e3:>9.3f}ms"
+        )
+
+
+def iteration_flops_words(
+    strategy: MemoStrategy, node_nnz: Sequence[int], rank: int
+) -> tuple[int, int]:
+    """(flops, words) for one CP-ALS iteration under ``strategy``.
+
+    Every non-root node is rebuilt exactly once per iteration (the schedule
+    property of post-order mode updates), and every leaf's value matrix is
+    read once when scattered into the MTTKRP output.
+    """
+    flops = 0
+    words = 0
+    for node in strategy.nodes:
+        if node.is_root:
+            continue
+        parent_nnz = node_nnz[node.parent]  # type: ignore[index]
+        f, w = contraction_work(parent_nnz, rank, len(node.delta))
+        flops += f
+        words += w
+        if node.is_leaf:
+            words += node_nnz[node.id] * rank
+    return flops, words
+
+
+def simulate_peak_value_bytes(
+    strategy: MemoStrategy, node_nnz: Sequence[int], rank: int
+) -> int:
+    """Peak live memoized-value bytes over one iteration's schedule.
+
+    Replays the engine's cache behaviour: computing leaf ``n`` materializes
+    every node on its root path; updating mode ``n`` then destroys every node
+    whose contracted set contains ``n``.  Returns the maximum concurrent
+    total of non-root value-matrix bytes.
+    """
+    live: set[int] = set()
+    peak = 0
+    bytes_of = [
+        node_nnz[i] * rank * VALUE_ITEMSIZE for i in range(len(strategy.nodes))
+    ]
+
+    def total() -> int:
+        return sum(bytes_of[i] for i in live)
+
+    # Two passes: caches persist across iterations, so steady-state peaks can
+    # exceed the cold-start first iteration.  Doomed nodes are freed on
+    # entering a sub-iteration, before the path materializes (the engine's
+    # eager-free schedule).
+    for _ in range(2):
+        for n in strategy.mode_order:
+            for nid in strategy.invalidated_by(n):
+                live.discard(nid)
+            for nid in strategy.path_to_root(strategy.leaf_id(n)):
+                if not strategy.nodes[nid].is_root:
+                    live.add(nid)
+            peak = max(peak, total())
+    return peak
+
+
+def symbolic_index_bytes(strategy: MemoStrategy, node_nnz: Sequence[int]) -> int:
+    """Bytes of symbolic structures, matching ``SymbolicTree.index_nbytes``.
+
+    Root: its index block aliases the tensor's coordinates (counted, since
+    the model compares storage across strategies that all share it).
+    Non-root node ``t``: index block (``nnz_t * |modes|`` indices), reduction
+    permutation (``nnz_parent``), segment starts (``nnz_t``), and group ids
+    (``nnz_t``).
+    """
+    total = 0
+    for node in strategy.nodes:
+        if node.is_root:
+            total += node_nnz[node.id] * len(node.modes) * INDEX_ITEMSIZE
+            continue
+        nnz_t = node_nnz[node.id]
+        nnz_p = node_nnz[node.parent]  # type: ignore[index]
+        total += nnz_t * len(node.modes) * INDEX_ITEMSIZE
+        total += (nnz_p + 2 * nnz_t) * INDEX_ITEMSIZE
+    return total
+
+
+def cost_report(
+    strategy: MemoStrategy,
+    node_nnz: Sequence[int],
+    rank: int,
+    machine: MachineModel = DEFAULT_MACHINE,
+) -> CostReport:
+    """Assemble a :class:`CostReport` from per-node nonzero counts."""
+    if len(node_nnz) != len(strategy.nodes):
+        raise ValueError(
+            f"node_nnz has {len(node_nnz)} entries for "
+            f"{len(strategy.nodes)} nodes"
+        )
+    flops, words = iteration_flops_words(strategy, node_nnz, rank)
+    return CostReport(
+        strategy=strategy,
+        rank=rank,
+        flops_per_iteration=flops,
+        words_per_iteration=words,
+        peak_value_bytes=simulate_peak_value_bytes(strategy, node_nnz, rank),
+        index_bytes=symbolic_index_bytes(strategy, node_nnz),
+        node_nnz=list(node_nnz),
+        predicted_seconds=machine.seconds(flops, words),
+    )
+
+
+def cost_from_symbolic(
+    symbolic: SymbolicTree, rank: int, machine: MachineModel = DEFAULT_MACHINE
+) -> CostReport:
+    """Cost report using exact node sizes from a built symbolic tree."""
+    return cost_report(symbolic.strategy, symbolic.node_nnz(), rank, machine)

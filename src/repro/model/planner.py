@@ -1,0 +1,148 @@
+"""The adaptive planner: enumerate strategies, predict, select.
+
+This is the paper's "model-driven" step.  Given a tensor and a CP rank, the
+planner (1) generates candidate memoization trees, (2) obtains every
+candidate node's intermediate size from one shared
+:class:`~repro.model.overlap.DistinctCounter`, (3) scores each candidate with
+the analytic cost model, and (4) returns the cheapest candidate whose memory
+footprint fits the budget.  Because the candidate set always includes the
+star tree (the no-memoization baseline), the selected plan can never be
+predicted slower than the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.coo import CooTensor
+from ..core.strategy import MemoStrategy
+from ..core.validate import check_positive_int
+from .cost import DEFAULT_MACHINE, CostReport, MachineModel, cost_report
+from .overlap import DistinctCounter
+
+
+@dataclass
+class ScoredStrategy:
+    """One candidate with its predicted cost and feasibility."""
+
+    strategy: MemoStrategy
+    cost: CostReport
+    feasible: bool
+
+    @property
+    def predicted_seconds(self) -> float:
+        return self.cost.predicted_seconds
+
+
+@dataclass
+class PlannerReport:
+    """Full outcome of a planning run.
+
+    ``scored`` is sorted by predicted time (feasible candidates first);
+    ``best`` is the fastest feasible candidate.
+    """
+
+    scored: list[ScoredStrategy]
+    machine: MachineModel
+    memory_budget: int | None
+    count_method: str
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def best(self) -> ScoredStrategy:
+        for s in self.scored:
+            if s.feasible:
+                return s
+        raise RuntimeError("no feasible strategy (memory budget too small?)")
+
+    def ranked_names(self) -> list[str]:
+        return [s.strategy.name for s in self.scored]
+
+    def rank_of(self, strategy: MemoStrategy) -> int:
+        """0-based rank of ``strategy`` in the predicted ordering."""
+        sig = strategy.signature()
+        for i, s in enumerate(self.scored):
+            if s.strategy.signature() == sig:
+                return i
+        raise KeyError(f"strategy {strategy.name!r} not among candidates")
+
+    def summary(self, top: int = 8) -> str:
+        lines = [
+            f"planner: {len(self.scored)} candidates, machine={self.machine.name}, "
+            f"budget={'none' if self.memory_budget is None else self.memory_budget}",
+        ]
+        for s in self.scored[:top]:
+            flag = " " if s.feasible else "!"
+            lines.append(f"  {flag} {s.cost.summary()}")
+        return "\n".join(lines)
+
+
+def plan(
+    tensor: CooTensor,
+    rank: int,
+    *,
+    candidates: Sequence[MemoStrategy] | None = None,
+    memory_budget: int | None = None,
+    machine: MachineModel | None = None,
+    count_method: str = "exact",
+    sample_size: int = 100_000,
+    random_state=0,
+) -> PlannerReport:
+    """Select a memoization strategy for CP-ALS on ``tensor`` at ``rank``.
+
+    Parameters
+    ----------
+    tensor: input sparse tensor.
+    rank: CP rank the decomposition will use.
+    candidates:
+        strategies to consider; defaults to
+        :func:`repro.model.search.search_candidates` (star, all chains,
+        all two-way splits, balanced binary, every contiguous binary tree
+        for order <= 8, greedy-constructed trees above that).
+    memory_budget:
+        cap in bytes on a candidate's ``total_memory_bytes``; infeasible
+        candidates are kept in the report but never selected.
+    machine:
+        time-model constants; defaults to :data:`DEFAULT_MACHINE` (pass the
+        result of :func:`repro.model.calibrate.calibrate_machine` for
+        host-accurate predictions).
+    count_method / sample_size / random_state:
+        forwarded to :class:`DistinctCounter` (``'sampled'`` trades count
+        accuracy for planning speed on huge tensors).
+    """
+    check_positive_int(rank, "rank")
+    if tensor.ndim < 2:
+        raise ValueError("planning requires an order >= 2 tensor")
+    machine = machine or DEFAULT_MACHINE
+    counter = DistinctCounter(
+        tensor, method=count_method, sample_size=sample_size,
+        random_state=random_state,
+    )
+    if candidates is None:
+        from .search import search_candidates
+
+        candidates = search_candidates(tensor, counter=counter)
+    if not candidates:
+        raise ValueError("candidate list is empty")
+    scored: list[ScoredStrategy] = []
+    for strat in candidates:
+        if strat.n_modes != tensor.ndim:
+            raise ValueError(
+                f"candidate {strat.name!r} covers {strat.n_modes} modes, "
+                f"tensor has {tensor.ndim}"
+            )
+        report = cost_report(strat, counter.node_nnz(strat), rank, machine)
+        feasible = (
+            memory_budget is None or report.total_memory_bytes <= memory_budget
+        )
+        scored.append(ScoredStrategy(strat, report, feasible))
+    scored.sort(key=lambda s: (not s.feasible, s.predicted_seconds))
+    notes = [f"distinct-count cache entries: {counter.cache_size()}"]
+    return PlannerReport(
+        scored=scored,
+        machine=machine,
+        memory_budget=memory_budget,
+        count_method=count_method,
+        notes=notes,
+    )

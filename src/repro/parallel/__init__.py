@@ -1,0 +1,27 @@
+"""Shared-memory multicore runtime: partitioning, pools, scaling models."""
+
+from .engine import ParallelMemoizedMttkrp
+from .partition import (contiguous_chunks, greedy_partition,
+                        partition_balance, partition_nonzeros,
+                        partition_slices)
+from .pool import ParallelCooMttkrp, WorkerPool, default_workers
+from .slicepar import SliceParallelMttkrp
+from .simulate import (ScalingParams, load_imbalance, simulate_parallel_time,
+                       simulate_speedup_curve)
+
+__all__ = [
+    "ParallelMemoizedMttkrp",
+    "contiguous_chunks",
+    "greedy_partition",
+    "partition_balance",
+    "partition_nonzeros",
+    "partition_slices",
+    "ParallelCooMttkrp",
+    "SliceParallelMttkrp",
+    "WorkerPool",
+    "default_workers",
+    "ScalingParams",
+    "load_imbalance",
+    "simulate_parallel_time",
+    "simulate_speedup_curve",
+]

@@ -1,0 +1,6 @@
+"""Instrumentation: operation counters and timers."""
+
+from .counters import Counters, active_counters, counting, record
+from .timer import Timer, time_callable
+
+__all__ = ["Counters", "active_counters", "counting", "record", "Timer", "time_callable"]

@@ -1,0 +1,106 @@
+"""Operation counters: measured work, for validating the cost model.
+
+The analytic performance model (:mod:`repro.model.cost`) *predicts* flops and
+memory words; the engine *counts* the same events as it executes.  Agreement
+between the two is a tested invariant, which is what licenses using the model
+to pick strategies without running them.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counters:
+    """Accumulated work counters.
+
+    Attributes
+    ----------
+    flops: Hadamard-product and reduction flop events (see
+        :func:`repro.model.cost.contraction_flops` for the exact convention).
+    words: value words moved (gathers + value-matrix reads/writes).
+    contractions: single-mode tensor-times-matrix contraction count.
+    node_builds: intermediate-tensor rebuild count.
+    mttkrps: completed MTTKRP calls.
+    """
+
+    flops: int = 0
+    words: int = 0
+    contractions: int = 0
+    node_builds: int = 0
+    mttkrps: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def add(self, other: "Counters") -> None:
+        self.flops += other.flops
+        self.words += other.words
+        self.contractions += other.contractions
+        self.node_builds += other.node_builds
+        self.mttkrps += other.mttkrps
+        for k, v in other.extra.items():
+            self.extra[k] = self.extra.get(k, 0) + v
+
+    def reset(self) -> None:
+        self.flops = 0
+        self.words = 0
+        self.contractions = 0
+        self.node_builds = 0
+        self.mttkrps = 0
+        self.extra.clear()
+
+    def snapshot(self) -> dict:
+        out = {
+            "flops": self.flops,
+            "words": self.words,
+            "contractions": self.contractions,
+            "node_builds": self.node_builds,
+            "mttkrps": self.mttkrps,
+        }
+        out.update(self.extra)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Counters({self.snapshot()})"
+
+
+_active: contextvars.ContextVar[Counters | None] = contextvars.ContextVar(
+    "repro_active_counters", default=None
+)
+
+
+def active_counters() -> Counters | None:
+    """The counters installed by the innermost :func:`counting` context."""
+    return _active.get()
+
+
+@contextmanager
+def counting(counters: Counters | None = None):
+    """Context manager installing ``counters`` as the active sink.
+
+    Usage::
+
+        with counting() as c:
+            engine.mttkrp(0)
+        print(c.flops)
+    """
+    counters = counters if counters is not None else Counters()
+    token = _active.set(counters)
+    try:
+        yield counters
+    finally:
+        _active.reset(token)
+
+
+def record(**events) -> None:
+    """Add events to the active counters, if any (no-op otherwise)."""
+    c = _active.get()
+    if c is None:
+        return
+    for name, value in events.items():
+        if hasattr(c, name) and name != "extra":
+            setattr(c, name, getattr(c, name) + value)
+        else:
+            c.extra[name] = c.extra.get(name, 0) + value

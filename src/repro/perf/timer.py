@@ -1,0 +1,46 @@
+"""Lightweight wall-clock timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch usable as a context manager."""
+
+    elapsed: float = 0.0
+    laps: list = field(default_factory=list)
+    _start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        lap = time.perf_counter() - self._start
+        self.laps.append(lap)
+        self.elapsed += lap
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    @property
+    def best(self) -> float:
+        return min(self.laps) if self.laps else 0.0
+
+
+def time_callable(fn, *, repeats: int = 3, warmup: int = 1) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` after ``warmup`` calls."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

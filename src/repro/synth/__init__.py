@@ -1,0 +1,24 @@
+"""Synthetic tensor generators and the benchmark dataset registry."""
+
+from .datasets import DatasetSpec, dataset_names, get_spec, load_dataset
+from .lowrank import PlantedTensor, lowrank_tensor, random_kruskal
+from .random_tensor import (sample_unique_indices, sample_values,
+                            uniform_random_tensor)
+from .skewed import (skewed_random_tensor, zipf_mode_sampler,
+                     zipf_probabilities)
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_names",
+    "get_spec",
+    "load_dataset",
+    "PlantedTensor",
+    "lowrank_tensor",
+    "random_kruskal",
+    "sample_unique_indices",
+    "sample_values",
+    "uniform_random_tensor",
+    "skewed_random_tensor",
+    "zipf_mode_sampler",
+    "zipf_probabilities",
+]

@@ -1,0 +1,220 @@
+"""Registry of benchmark datasets: real-tensor analogs plus random sweeps.
+
+The paper evaluates on FROSTT-style real tensors (NELL, CHOA EHR, Delicious,
+Flickr, Enron, NIPS, Uber) that are unavailable offline; each registry entry
+generates a *statistical analog*: the same order, proportionally scaled mode
+sizes, a matched sparsity regime, and per-mode Zipf skews chosen to mimic the
+source domain (hub entities, popular tags, frequent words).  Skew controls
+index overlap after contraction — the property the memoization gains depend
+on — so the analogs exercise the same code paths and trade-offs as the real
+tensors.  See DESIGN.md ("Data substitution").
+
+All generation is deterministic given the registry seed, so benchmark runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.coo import CooTensor
+from ..core.validate import check_random_state
+from .random_tensor import uniform_random_tensor
+from .skewed import skewed_random_tensor
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Recipe for one benchmark dataset.
+
+    ``shape`` and ``nnz`` are the *reference* size (scale=1.0); loading with
+    a different ``scale`` multiplies nnz and mode sizes accordingly.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    nnz: int
+    skew: tuple[float, ...]
+    value_distribution: str
+    seed: int
+    description: str
+    analog_of: str | None = None
+
+    @property
+    def order(self) -> int:
+        return len(self.shape)
+
+
+_REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate dataset name {spec.name!r}")
+    if len(spec.skew) != len(spec.shape):
+        raise ValueError(f"{spec.name}: skew must have one entry per mode")
+    _REGISTRY[spec.name] = spec
+
+
+# ---------------------------------------------------------------------------
+# Real-tensor analogs (3rd order)
+# ---------------------------------------------------------------------------
+_register(DatasetSpec(
+    name="nell1",
+    shape=(2900, 2100, 25500), nnz=150_000,
+    skew=(1.1, 1.1, 1.3), value_distribution="uniform", seed=101,
+    description="entity x relation-phrase x entity knowledge-base analog",
+    analog_of="NELL-1 (2.9M x 2.1M x 25.5M, 144M nnz)",
+))
+_register(DatasetSpec(
+    name="nell2",
+    shape=(1200, 900, 2800), nnz=120_000,
+    skew=(1.0, 1.0, 1.2), value_distribution="uniform", seed=102,
+    description="dense-core knowledge-base analog",
+    analog_of="NELL-2 (12K x 9K x 28K, 77M nnz)",
+))
+_register(DatasetSpec(
+    name="choa",
+    shape=(7200, 1200, 480), nnz=120_000,
+    skew=(0.6, 1.4, 1.4), value_distribution="count", seed=103,
+    description="patient x diagnosis x procedure EHR analog",
+    analog_of="CHOA EHR (pediatric hospital records)",
+))
+# ---------------------------------------------------------------------------
+# Real-tensor analogs (4th order)
+# ---------------------------------------------------------------------------
+_register(DatasetSpec(
+    name="delicious",
+    shape=(150, 5000, 1600, 250), nnz=150_000,
+    skew=(0.4, 1.1, 1.3, 0.5), value_distribution="count", seed=104,
+    description="time x user x resource x tag bookmarking analog",
+    analog_of="Delicious-4d (1.4K x 532K x 17M x 2.4M, 140M nnz)",
+))
+_register(DatasetSpec(
+    name="flickr",
+    shape=(100, 3000, 2800, 160), nnz=120_000,
+    skew=(0.4, 1.2, 1.3, 0.6), value_distribution="count", seed=105,
+    description="time x user x photo x tag analog",
+    analog_of="Flickr-4d (731 x 319K x 28M x 1.6M, 112M nnz)",
+))
+_register(DatasetSpec(
+    name="enron",
+    shape=(600, 600, 6000, 200), nnz=120_000,
+    skew=(1.2, 1.2, 1.3, 0.3), value_distribution="count", seed=106,
+    description="sender x receiver x word x date email analog",
+    analog_of="Enron (6K x 5.7K x 244K x 1.2K, 54M nnz)",
+))
+_register(DatasetSpec(
+    name="nips",
+    shape=(500, 600, 2800, 17), nnz=100_000,
+    skew=(0.7, 0.9, 1.2, 0.1), value_distribution="count", seed=107,
+    description="paper x author x word x year publication analog",
+    analog_of="NIPS (2.5K x 2.9K x 14K x 17, 3.1M nnz)",
+))
+_register(DatasetSpec(
+    name="uber",
+    shape=(183, 24, 570, 860), nnz=150_000,
+    skew=(0.2, 0.5, 1.0, 1.0), value_distribution="count", seed=108,
+    description="date x hour x lat x lon trip analog",
+    analog_of="Uber (183 x 24 x 1.1K x 1.7K, 3.3M nnz)",
+))
+_register(DatasetSpec(
+    name="netflix",
+    shape=(4800, 1700, 220), nnz=150_000,
+    skew=(0.8, 1.0, 0.3), value_distribution="count", seed=109,
+    description="user x movie x week ratings analog",
+    analog_of="Netflix (480K x 17K x 2K, 100M nnz)",
+))
+_register(DatasetSpec(
+    name="amazon",
+    shape=(6600, 2400, 2300), nnz=200_000,
+    skew=(0.9, 1.1, 1.2), value_distribution="count", seed=110,
+    description="user x product x word review analog",
+    analog_of="Amazon reviews (6.6M x 2.4M x 23K, 1.3B nnz)",
+))
+_register(DatasetSpec(
+    name="patents",
+    shape=(460, 3200, 3200), nnz=180_000,
+    skew=(0.2, 1.2, 1.2), value_distribution="count", seed=111,
+    description="year x term x term co-occurrence analog",
+    analog_of="Patents (46 x 239K x 239K, 3.6B nnz)",
+))
+_register(DatasetSpec(
+    name="reddit",
+    shape=(1200, 1800, 2700), nnz=180_000,
+    skew=(1.1, 1.0, 1.2), value_distribution="count", seed=112,
+    description="user x subreddit x word analog",
+    analog_of="Reddit-2015 (8.2M x 177K x 8.1M, 4.7B nnz)",
+))
+# ---------------------------------------------------------------------------
+# Synthetic order sweep (uniform, no skew): isolates the pure op-count effect
+# ---------------------------------------------------------------------------
+for _order in range(3, 9):
+    _register(DatasetSpec(
+        name=f"rand{_order}d",
+        shape=tuple([300] * _order), nnz=100_000,
+        skew=tuple([0.0] * _order), value_distribution="uniform",
+        seed=200 + _order,
+        description=f"uniform random order-{_order} tensor",
+        analog_of=None,
+    ))
+# Skewed order sweep: adds realistic index overlap.
+for _order in range(3, 9):
+    _register(DatasetSpec(
+        name=f"skew{_order}d",
+        shape=tuple([300] * _order), nnz=100_000,
+        skew=tuple([1.1] * _order), value_distribution="count",
+        seed=300 + _order,
+        description=f"Zipf-skewed order-{_order} tensor",
+        analog_of=None,
+    ))
+
+
+def dataset_names(*, analogs_only: bool = False) -> list[str]:
+    """Registered dataset names (insertion order)."""
+    return [
+        name for name, spec in _REGISTRY.items()
+        if not analogs_only or spec.analog_of is not None
+    ]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """The registry entry for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose from {dataset_names()}"
+        ) from None
+
+
+def load_dataset(name: str, *, scale: float = 1.0, random_state=None) -> CooTensor:
+    """Generate a registry dataset.
+
+    ``scale`` multiplies the nonzero count (mode sizes are scaled by
+    ``scale ** (1/order)`` so density stays roughly constant).  Default seed
+    is the spec's; pass ``random_state`` for an independent instance.
+    """
+    spec = get_spec(name)
+    if scale <= 0:
+        raise ValueError("scale must be > 0")
+    rng = check_random_state(
+        spec.seed if random_state is None else random_state
+    )
+    if scale == 1.0:
+        shape = spec.shape
+        nnz = spec.nnz
+    else:
+        dim_scale = scale ** (1.0 / spec.order)
+        shape = tuple(max(2, int(round(s * dim_scale))) for s in spec.shape)
+        nnz = max(1, int(round(spec.nnz * scale)))
+    if all(a == 0.0 for a in spec.skew):
+        return uniform_random_tensor(
+            shape, nnz, random_state=rng,
+            value_distribution=spec.value_distribution,
+        )
+    return skewed_random_tensor(
+        shape, nnz, spec.skew, random_state=rng,
+        value_distribution=spec.value_distribution,
+    )

@@ -1,0 +1,84 @@
+"""Planted low-rank sparse tensors: ground truth for recovery tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.coo import CooTensor
+from ..core.dtypes import VALUE_DTYPE
+from ..core.kruskal import KruskalTensor
+from ..core.validate import (check_positive_int, check_random_state,
+                             check_shape)
+from .random_tensor import sample_unique_indices
+
+
+@dataclass
+class PlantedTensor:
+    """A sparse observation of a known Kruskal model.
+
+    Attributes
+    ----------
+    tensor: observed sparse tensor (model values at sampled coordinates,
+        plus optional noise).
+    ktensor: the planted ground-truth model.
+    noise_level: relative noise that was added.
+    """
+
+    tensor: CooTensor
+    ktensor: KruskalTensor
+    noise_level: float
+
+
+def random_kruskal(
+    shape: Sequence[int],
+    rank: int,
+    rng: np.random.Generator,
+    *,
+    nonneg: bool = True,
+) -> KruskalTensor:
+    """A random well-conditioned Kruskal model (unit weights pushed out)."""
+    factors = []
+    for dim in shape:
+        if nonneg:
+            # Gamma(0.8) rows: sparse-ish, heavy-tailed, strictly >= 0 —
+            # resembles topic/phenotype factors.
+            U = rng.gamma(0.8, 1.0, size=(dim, rank)).astype(VALUE_DTYPE)
+        else:
+            U = rng.standard_normal((dim, rank)).astype(VALUE_DTYPE)
+        factors.append(U)
+    return KruskalTensor.from_factors(factors).normalize()
+
+
+def lowrank_tensor(
+    shape: Sequence[int],
+    rank: int,
+    nnz: int,
+    *,
+    noise: float = 0.0,
+    nonneg: bool = True,
+    random_state=None,
+) -> PlantedTensor:
+    """Sample ``nnz`` cells of a planted rank-``R`` model.
+
+    Unsampled cells are (explicit) zeros, so a *partially* observed tensor is
+    the planted model times a sampling mask — itself generally not rank-R.
+    For exact-recovery tests pass ``nnz = prod(shape)`` (full observation):
+    then with ``noise=0`` CP-ALS at the true rank drives the fit to 1 and
+    recovers the planted factors up to permutation/scaling.
+    """
+    shape = check_shape(shape)
+    check_positive_int(rank, "rank")
+    if noise < 0:
+        raise ValueError("noise must be >= 0")
+    rng = check_random_state(random_state)
+    ktensor = random_kruskal(shape, rank, rng, nonneg=nonneg)
+    idx = sample_unique_indices(shape, nnz, rng)
+    vals = ktensor.values_at(idx)
+    if noise > 0:
+        scale = float(np.sqrt(np.mean(vals**2))) or 1.0
+        vals = vals + noise * scale * rng.standard_normal(vals.shape[0])
+    tensor = CooTensor(idx, vals, shape, canonical=True, copy=False)
+    return PlantedTensor(tensor=tensor, ktensor=ktensor, noise_level=noise)

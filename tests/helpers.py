@@ -1,0 +1,40 @@
+"""Shared test helpers: dense reference implementations.
+
+The references here are deliberately naive (dense, loop-based) and
+independent of the library's sparse kernels, so agreement tests are
+meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coo import CooTensor
+
+
+def dense_mttkrp(dense: np.ndarray, factors, mode: int) -> np.ndarray:
+    """Reference MTTKRP on a dense array via successive tensordots."""
+    ndim = dense.ndim
+    rank = factors[0].shape[1]
+    out = np.zeros((dense.shape[mode], rank))
+    for r in range(rank):
+        t = dense
+        # Contract every other mode with its factor column; contracting the
+        # highest mode first keeps axis numbering stable.
+        for m in sorted((m for m in range(ndim) if m != mode), reverse=True):
+            t = np.tensordot(t, factors[m][:, r], axes=([m], [0]))
+        out[:, r] = t
+    return out
+
+
+def random_coo(rng, shape, nnz) -> CooTensor:
+    """Small random tensor with possibly duplicate coordinate draws."""
+    idx = np.column_stack(
+        [rng.integers(0, s, size=nnz) for s in shape]
+    )
+    vals = rng.standard_normal(nnz)
+    return CooTensor(idx, vals, shape)
+
+
+def random_factors(rng, shape, rank):
+    return [rng.standard_normal((s, rank)) for s in shape]

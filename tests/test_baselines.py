@@ -1,0 +1,205 @@
+"""Tests for the baseline MTTKRP backends (repro.baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.baselines import (CooMttkrp, SplattMttkrp, TtvMttkrp,
+                             backend_names, coo_mttkrp, make_backend,
+                             splatt_mttkrp, ttv_chain)
+from repro.core.coo import CooTensor
+from repro.core.engine import MemoizedMttkrp
+from repro.perf import counting
+
+from .helpers import dense_mttkrp, random_coo, random_factors
+
+BACKENDS = [CooMttkrp, TtvMttkrp, SplattMttkrp]
+
+
+@pytest.mark.parametrize("backend_cls", BACKENDS)
+class TestAgainstDense:
+    def test_all_modes_3d(self, backend_cls):
+        rng = np.random.default_rng(0)
+        t = random_coo(rng, (5, 6, 7), 50)
+        factors = random_factors(rng, t.shape, 4)
+        backend = backend_cls(t)
+        backend.set_factors(factors)
+        dense = t.to_dense()
+        for mode in range(3):
+            np.testing.assert_allclose(
+                backend.mttkrp(mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_all_modes_5d(self, backend_cls):
+        rng = np.random.default_rng(1)
+        t = random_coo(rng, (3, 4, 5, 3, 4), 40)
+        factors = random_factors(rng, t.shape, 2)
+        backend = backend_cls(t)
+        backend.set_factors(factors)
+        dense = t.to_dense()
+        for mode in range(5):
+            np.testing.assert_allclose(
+                backend.mttkrp(mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_empty_tensor(self, backend_cls):
+        t = CooTensor.empty((3, 4, 5))
+        backend = backend_cls(t)
+        backend.set_factors(random_factors(np.random.default_rng(2), t.shape, 3))
+        out = backend.mttkrp(1)
+        assert out.shape == (4, 3)
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_update_factor(self, backend_cls):
+        rng = np.random.default_rng(3)
+        t = random_coo(rng, (4, 4, 4), 30)
+        factors = random_factors(rng, t.shape, 2)
+        backend = backend_cls(t)
+        backend.set_factors(factors)
+        backend.mttkrp(0)
+        newU = rng.standard_normal((4, 2))
+        backend.update_factor(1, newU)
+        factors[1] = newU
+        np.testing.assert_allclose(
+            backend.mttkrp(0),
+            dense_mttkrp(t.to_dense(), factors, 0),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    def test_requires_factors(self, backend_cls):
+        backend = backend_cls(CooTensor.empty((2, 2)))
+        with pytest.raises(RuntimeError):
+            backend.mttkrp(0)
+
+    def test_bad_update_shape(self, backend_cls):
+        rng = np.random.default_rng(4)
+        t = random_coo(rng, (3, 3, 3), 10)
+        backend = backend_cls(t)
+        backend.set_factors(random_factors(rng, t.shape, 2))
+        with pytest.raises(ValueError):
+            backend.update_factor(0, np.zeros((5, 2)))
+
+
+class TestCrossBackendAgreement:
+    @given(hst.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_all_backends_and_engine_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        t = random_coo(rng, (4, 5, 3, 4), 35)
+        factors = random_factors(rng, t.shape, 3)
+        outputs = []
+        for backend_cls in BACKENDS:
+            b = backend_cls(t)
+            b.set_factors(factors)
+            outputs.append([b.mttkrp(m) for m in range(4)])
+        eng = MemoizedMttkrp(t, "bdt", factors)
+        outputs.append([eng.mttkrp(m) for m in range(4)])
+        ref = outputs[0]
+        for other in outputs[1:]:
+            for a, b in zip(ref, other):
+                np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9)
+
+
+class TestFunctionalForms:
+    def test_coo_mttkrp(self):
+        rng = np.random.default_rng(5)
+        t = random_coo(rng, (4, 5, 6), 25)
+        factors = random_factors(rng, t.shape, 2)
+        np.testing.assert_allclose(
+            coo_mttkrp(t, factors, 1),
+            dense_mttkrp(t.to_dense(), factors, 1),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    def test_splatt_mttkrp(self):
+        rng = np.random.default_rng(6)
+        t = random_coo(rng, (4, 5, 6), 25)
+        factors = random_factors(rng, t.shape, 2)
+        np.testing.assert_allclose(
+            splatt_mttkrp(t, factors, 2),
+            dense_mttkrp(t.to_dense(), factors, 2),
+            rtol=1e-10, atol=1e-10,
+        )
+
+
+class TestTtvChain:
+    def test_full_contraction_scalar(self):
+        rng = np.random.default_rng(7)
+        t = random_coo(rng, (3, 4), 8)
+        u, v = rng.random(3), rng.random(4)
+        out = ttv_chain(t, {0: u, 1: v})
+        assert out.shape == ()
+        assert out == pytest.approx(float(u @ t.to_dense() @ v))
+
+    def test_partial_contraction(self):
+        rng = np.random.default_rng(8)
+        t = random_coo(rng, (3, 4, 5), 20)
+        v = rng.random(4)
+        out = ttv_chain(t, {1: v})
+        expected = np.tensordot(t.to_dense(), v, axes=([1], [0]))
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_distributive_property(self):
+        """TTV distributes over nonzero splits (Lemma: sum of parts)."""
+        rng = np.random.default_rng(9)
+        t = random_coo(rng, (4, 4, 4), 30)
+        v = rng.random(4)
+        parts = t.split_nonzeros(3)
+        total = sum(ttv_chain(p, {2: v}) for p in parts)
+        np.testing.assert_allclose(total, ttv_chain(t, {2: v}), atol=1e-12)
+
+    def test_bad_vector_length(self):
+        t = CooTensor.empty((3, 4))
+        with pytest.raises(ValueError):
+            ttv_chain(t, {0: np.ones(5)})
+
+
+class TestCounters:
+    def test_coo_flop_count(self):
+        rng = np.random.default_rng(10)
+        t = random_coo(rng, (5, 5, 5), 40)
+        b = CooMttkrp(t)
+        b.set_factors(random_factors(rng, t.shape, 4))
+        with counting() as c:
+            b.mttkrp(0)
+        assert c.flops == t.nnz * 4 * 3  # nnz * R * (N-1+1)
+        assert c.mttkrps == 1
+
+    def test_splatt_counts_less_than_coo_on_overlapping_tensor(self):
+        idx = np.array([[0, 0, k] for k in range(20)] + [[1, 1, k] for k in range(20)])
+        t = CooTensor(idx, np.ones(40), (2, 2, 20))
+        factors = random_factors(np.random.default_rng(11), t.shape, 4)
+        coo_b, splatt_b = CooMttkrp(t), SplattMttkrp(t)
+        coo_b.set_factors(factors)
+        splatt_b.set_factors(factors)
+        with counting() as c_coo:
+            coo_b.mttkrp(0)
+        with counting() as c_splatt:
+            splatt_b.mttkrp(0)
+        assert c_splatt.flops < c_coo.flops  # fiber compression pays
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(backend_names()) == {"coo", "splatt", "splatt1", "ttv"}
+
+    def test_make_baselines(self):
+        t = CooTensor.empty((2, 2, 2))
+        for name in backend_names():
+            assert make_backend(name, t).tensor is t
+
+    def test_make_memoized_variants(self):
+        t = CooTensor.empty((2, 2, 2))
+        eng = make_backend("memoized:star", t)
+        assert eng.strategy.name == "star"
+        default = make_backend("memoized", t)
+        assert default.strategy.name == "bdt"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_backend("nope", CooTensor.empty((2, 2)))

@@ -1,0 +1,106 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import load_input, main
+from repro.core.coo import CooTensor
+from repro.io.frostt import write_tns
+from repro.synth.lowrank import lowrank_tensor
+
+from .helpers import random_coo
+
+
+@pytest.fixture
+def tns_file(tmp_path):
+    t = random_coo(np.random.default_rng(0), (8, 9, 7), 60)
+    path = tmp_path / "t.tns"
+    write_tns(t, path)
+    return str(path), t
+
+
+class TestLoadInput:
+    def test_tns(self, tns_file):
+        path, t = tns_file
+        assert load_input(path).allclose(t)
+
+    def test_npz(self, tmp_path):
+        from repro.io.cache import save_npz
+
+        t = random_coo(np.random.default_rng(1), (5, 5), 10)
+        path = tmp_path / "t.npz"
+        save_npz(t, path)
+        assert load_input(str(path)).allclose(t)
+
+    def test_registry_name(self):
+        t = load_input("nips", scale=0.01)
+        assert t.ndim == 4
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("hi")
+        with pytest.raises(ValueError, match="extension"):
+            load_input(str(path))
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="neither"):
+            load_input("no-such-thing")
+
+
+class TestCommands:
+    def test_info(self, tns_file, capsys):
+        path, _ = tns_file
+        assert main(["info", path]) == 0
+        out = capsys.readouterr().out
+        assert "nnz" in out and "mode 2" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "delicious" in out and "analog" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "nips", "--scale", "0.02", "--rank", "4",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "selected:" in out
+
+    def test_decompose_writes_model(self, tmp_path, capsys):
+        planted = lowrank_tensor((8, 7, 6), rank=2, nnz=8 * 7 * 6,
+                                 random_state=2)
+        src = tmp_path / "x.tns"
+        write_tns(planted.tensor, src)
+        out_path = tmp_path / "model.npz"
+        assert main([
+            "decompose", str(src), "--rank", "2", "--strategy", "bdt",
+            "--iters", "25", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fit" in out
+        with np.load(out_path) as data:
+            assert data["weights"].shape == (2,)
+            assert data["factor_0"].shape == (8, 2)
+            assert data["factor_2"].shape == (6, 2)
+
+    def test_decompose_nonneg(self, capsys):
+        assert main([
+            "decompose", "nips", "--scale", "0.01", "--rank", "2",
+            "--iters", "5", "--nonneg",
+        ]) == 0
+        assert "nmu" in capsys.readouterr().out
+
+    def test_complete_with_holdout(self, tmp_path, capsys):
+        planted = lowrank_tensor((10, 9, 8), rank=2, nnz=500,
+                                 random_state=3)
+        src = tmp_path / "obs.tns"
+        write_tns(planted.tensor, src)
+        assert main([
+            "complete", str(src), "--rank", "2", "--iters", "40",
+            "--test-fraction", "0.2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "train RMSE" in out and "test RMSE" in out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["info", "definitely-not-a-dataset"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,183 @@
+"""Tests for the CP-ALS driver (repro.core.cpals)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CooMttkrp, SplattMttkrp, TtvMttkrp
+from repro.core import strategy as S
+from repro.core.coo import CooTensor
+from repro.core.cpals import cp_als, initialize_factors
+from repro.synth.lowrank import lowrank_tensor
+
+from .helpers import random_coo
+
+
+@pytest.fixture(scope="module")
+def planted():
+    # Fully observed planted model: exactly rank 3, so CP-ALS can reach fit 1.
+    shape = (12, 10, 8, 6)
+    nnz = int(np.prod(shape))
+    return lowrank_tensor(shape, rank=3, nnz=nnz, random_state=0)
+
+
+class TestInitialization:
+    def test_random_shapes(self):
+        t = CooTensor.empty((4, 5, 6))
+        factors = initialize_factors(t, 3, "random", random_state=0)
+        assert [U.shape for U in factors] == [(4, 3), (5, 3), (6, 3)]
+
+    def test_random_deterministic(self):
+        t = CooTensor.empty((4, 5))
+        a = initialize_factors(t, 2, "random", random_state=7)
+        b = initialize_factors(t, 2, "random", random_state=7)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_hosvd_shapes(self):
+        rng = np.random.default_rng(0)
+        t = random_coo(rng, (8, 9, 7), 100)
+        factors = initialize_factors(t, 3, "hosvd", random_state=0)
+        assert [U.shape for U in factors] == [(8, 3), (9, 3), (7, 3)]
+
+    def test_explicit_factors_validated(self):
+        t = CooTensor.empty((4, 5))
+        good = [np.ones((4, 2)), np.ones((5, 2))]
+        out = initialize_factors(t, 2, good)
+        assert out[0] is not good[0]  # copied
+        with pytest.raises(ValueError):
+            initialize_factors(t, 3, good)
+
+    def test_unknown_init(self):
+        with pytest.raises(ValueError):
+            initialize_factors(CooTensor.empty((2, 2)), 1, "nope")
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("strategy", ["star", "bdt", "chain", "two_way"])
+    def test_fit_monotone_nondecreasing(self, planted, strategy):
+        result = cp_als(
+            planted.tensor, rank=3, strategy=strategy, n_iter_max=15,
+            tol=0.0, random_state=1,
+        )
+        fits = np.array(result.fits)
+        assert (np.diff(fits) >= -1e-9).all(), fits
+
+    def test_noiseless_recovery(self, planted):
+        result = cp_als(
+            planted.tensor, rank=3, strategy="bdt", n_iter_max=60,
+            tol=1e-12, random_state=2,
+        )
+        assert result.fit > 0.999
+        # Planted factors recovered up to permutation/scaling.
+        assert result.ktensor.congruence(planted.ktensor) > 0.95
+
+    def test_strategies_agree_exactly(self, planted):
+        """Identical init -> every strategy produces the identical trajectory."""
+        results = [
+            cp_als(planted.tensor, rank=3, strategy=s, n_iter_max=5,
+                   tol=0.0, random_state=3)
+            for s in ("star", "bdt", S.chain(4, 2))
+        ]
+        for other in results[1:]:
+            np.testing.assert_allclose(results[0].fits, other.fits, rtol=1e-8)
+
+    def test_convergence_flag(self, planted):
+        result = cp_als(
+            planted.tensor, rank=3, strategy="bdt", n_iter_max=100,
+            tol=1e-6, random_state=4,
+        )
+        assert result.converged
+        assert result.n_iterations < 100
+
+    def test_tol_zero_runs_all_iterations(self, planted):
+        result = cp_als(
+            planted.tensor, rank=3, strategy="star", n_iter_max=4,
+            tol=0.0, random_state=5,
+        )
+        assert result.n_iterations == 4
+        assert not result.converged
+
+    def test_hosvd_init_converges(self, planted):
+        result = cp_als(
+            planted.tensor, rank=3, strategy="bdt", n_iter_max=30,
+            init="hosvd", random_state=6,
+        )
+        assert result.fit > 0.99
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend_cls", [CooMttkrp, TtvMttkrp, SplattMttkrp])
+    def test_engine_factory_backends(self, planted, backend_cls):
+        memoized = cp_als(
+            planted.tensor, rank=2, strategy="bdt", n_iter_max=4, tol=0.0,
+            random_state=7,
+        )
+        via_backend = cp_als(
+            planted.tensor, rank=2, n_iter_max=4, tol=0.0, random_state=7,
+            engine_factory=backend_cls,
+        )
+        np.testing.assert_allclose(memoized.fits, via_backend.fits, rtol=1e-8)
+        assert via_backend.strategy_name == backend_cls.name
+
+    def test_auto_strategy_uses_planner(self, planted):
+        result = cp_als(
+            planted.tensor, rank=2, strategy="auto", n_iter_max=2, tol=0.0,
+            random_state=8,
+        )
+        assert result.planner_report is not None
+        assert result.strategy_name == (
+            result.planner_report.best.strategy.name
+        )
+
+
+class TestValidation:
+    def test_bad_rank(self, planted):
+        with pytest.raises((TypeError, ValueError)):
+            cp_als(planted.tensor, rank=0)
+
+    def test_bad_tol(self, planted):
+        with pytest.raises(ValueError):
+            cp_als(planted.tensor, rank=2, tol=-1.0)
+
+    def test_order_one_rejected(self):
+        with pytest.raises(ValueError):
+            cp_als(CooTensor.empty((5,)), rank=1)
+
+    def test_callback_invoked(self, planted):
+        seen = []
+        cp_als(
+            planted.tensor, rank=2, strategy="star", n_iter_max=3, tol=0.0,
+            random_state=9,
+            callback=lambda it, fit, model: seen.append((it, fit)),
+        )
+        assert [it for it, _ in seen] == [0, 1, 2]
+
+    def test_timings_populated(self, planted):
+        result = cp_als(planted.tensor, rank=2, strategy="bdt",
+                        n_iter_max=2, tol=0.0, random_state=10)
+        assert result.timings["total"] >= result.timings["setup"]
+        assert result.timings["per_iteration"] > 0
+
+
+class TestEdgeCases:
+    def test_rank_exceeding_mode_size(self):
+        planted = lowrank_tensor((3, 9, 9), rank=2, nnz=3 * 9 * 9,
+                                 random_state=11)
+        result = cp_als(planted.tensor, rank=5, strategy="bdt",
+                        n_iter_max=10, random_state=11)
+        assert result.fit > 0.9
+
+    def test_two_mode_tensor(self):
+        planted = lowrank_tensor((15, 12), rank=2, nnz=15 * 12,
+                                 random_state=12)
+        result = cp_als(planted.tensor, rank=2, strategy="star",
+                        n_iter_max=40, random_state=12)
+        assert result.fit > 0.99
+
+    def test_integer_valued_tensor(self):
+        rng = np.random.default_rng(13)
+        idx = np.column_stack([rng.integers(0, 6, 80) for _ in range(3)])
+        t = CooTensor(idx, rng.integers(1, 5, 80).astype(float), (6, 6, 6))
+        result = cp_als(t, rank=4, strategy="bdt", n_iter_max=20,
+                        random_state=13)
+        assert 0.0 < result.fit <= 1.0

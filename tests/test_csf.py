@@ -1,0 +1,191 @@
+"""Tests for the CSF format (repro.formats.csf)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coo import CooTensor
+from repro.formats.csf import CsfTensor, default_mode_order
+
+from .helpers import dense_mttkrp, random_coo, random_factors
+
+
+class TestConstruction:
+    def test_node_counts_monotone(self):
+        rng = np.random.default_rng(0)
+        t = random_coo(rng, (5, 6, 7), 60)
+        csf = CsfTensor(t, (0, 1, 2))
+        counts = csf.node_counts()
+        assert counts[-1] == t.nnz
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_root_count_is_used_slices(self):
+        rng = np.random.default_rng(1)
+        t = random_coo(rng, (5, 6, 7), 40)
+        csf = CsfTensor(t, (0, 1, 2))
+        assert csf.node_counts()[0] == np.unique(t.idx[:, 0]).size
+
+    def test_fiber_compression(self):
+        # Many nonzeros share (i, j) prefixes -> level-1 nodes << nnz.
+        idx = np.array([[0, 0, k] for k in range(10)] + [[1, 1, k] for k in range(10)])
+        t = CooTensor(idx, np.ones(20), (2, 2, 10))
+        csf = CsfTensor(t, (0, 1, 2))
+        assert csf.node_counts() == [2, 2, 20]
+
+    def test_ptrs_partition_children(self):
+        rng = np.random.default_rng(2)
+        t = random_coo(rng, (4, 5, 6, 3), 50)
+        csf = CsfTensor(t, (0, 1, 2, 3))
+        counts = csf.node_counts()
+        for l, ptr in enumerate(csf.ptrs):
+            assert ptr[0] == 0
+            assert ptr[-1] == counts[l + 1]
+            assert (np.diff(ptr) >= 1).all()  # every node has >= 1 child
+
+    def test_invalid_mode_order(self):
+        t = CooTensor.empty((2, 2))
+        with pytest.raises(ValueError):
+            CsfTensor(t, (0, 0))
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((3, 4, 5))
+        csf = CsfTensor(t, (0, 1, 2))
+        assert csf.nnz == 0
+        out = csf.mttkrp_root([np.ones((s, 2)) for s in t.shape])
+        np.testing.assert_array_equal(out, 0.0)
+
+    def test_nbytes_positive(self):
+        rng = np.random.default_rng(3)
+        t = random_coo(rng, (4, 4, 4), 20)
+        assert CsfTensor(t, (0, 1, 2)).nbytes() > 0
+
+
+class TestMttkrp:
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_root_mode_matches_dense(self, order):
+        rng = np.random.default_rng(order)
+        shape = tuple(rng.integers(3, 7, size=order))
+        t = random_coo(rng, shape, 50)
+        factors = random_factors(rng, shape, 4)
+        dense = t.to_dense()
+        for mode in range(order):
+            csf = CsfTensor(t, default_mode_order(mode, order))
+            np.testing.assert_allclose(
+                csf.mttkrp_root(factors),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_arbitrary_mode_order(self):
+        rng = np.random.default_rng(9)
+        t = random_coo(rng, (4, 5, 6, 3), 40)
+        factors = random_factors(rng, t.shape, 3)
+        csf = CsfTensor(t, (2, 0, 3, 1))  # root mode 2, scrambled rest
+        np.testing.assert_allclose(
+            csf.mttkrp_root(factors),
+            dense_mttkrp(t.to_dense(), factors, 2),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    def test_single_nonzero(self):
+        t = CooTensor([[1, 2, 3]], [5.0], (3, 4, 5))
+        factors = random_factors(np.random.default_rng(10), t.shape, 2)
+        csf = CsfTensor(t, (0, 1, 2))
+        expected = dense_mttkrp(t.to_dense(), factors, 0)
+        np.testing.assert_allclose(csf.mttkrp_root(factors), expected)
+
+
+def test_default_mode_order():
+    assert default_mode_order(2, 4) == (2, 0, 1, 3)
+    assert default_mode_order(0, 3) == (0, 1, 2)
+
+
+class TestMttkrpLevel:
+    """CSF-1: MTTKRP for arbitrary modes from a single tree."""
+
+    @pytest.mark.parametrize("order", [2, 3, 4, 5])
+    def test_every_level_matches_dense(self, order):
+        rng = np.random.default_rng(30 + order)
+        shape = tuple(rng.integers(3, 7, size=order))
+        t = random_coo(rng, shape, 60)
+        factors = random_factors(rng, shape, 3)
+        csf = CsfTensor(t, tuple(range(order)))
+        dense = t.to_dense()
+        for level in range(order):
+            target_mode = csf.mode_order[level]
+            np.testing.assert_allclose(
+                csf.mttkrp_level(factors, level),
+                dense_mttkrp(dense, factors, target_mode),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_scrambled_mode_order(self):
+        rng = np.random.default_rng(40)
+        t = random_coo(rng, (4, 6, 5, 3), 50)
+        factors = random_factors(rng, t.shape, 2)
+        csf = CsfTensor(t, (3, 1, 0, 2))
+        dense = t.to_dense()
+        for level in range(4):
+            np.testing.assert_allclose(
+                csf.mttkrp_level(factors, level),
+                dense_mttkrp(dense, factors, csf.mode_order[level]),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_level_zero_is_root_algorithm(self):
+        rng = np.random.default_rng(41)
+        t = random_coo(rng, (5, 5, 5), 30)
+        factors = random_factors(rng, t.shape, 2)
+        csf = CsfTensor(t, (0, 1, 2))
+        np.testing.assert_allclose(
+            csf.mttkrp_level(factors, 0), csf.mttkrp_root(factors)
+        )
+
+    def test_invalid_level(self):
+        t = CooTensor([[0, 0]], [1.0], (2, 2))
+        csf = CsfTensor(t, (0, 1))
+        with pytest.raises(ValueError):
+            csf.mttkrp_level([np.ones((2, 1))] * 2, 2)
+
+    def test_empty_tensor_any_level(self):
+        csf = CsfTensor(CooTensor.empty((3, 4, 5)), (0, 1, 2))
+        out = csf.mttkrp_level([np.ones((s, 2)) for s in (3, 4, 5)], 1)
+        np.testing.assert_array_equal(out, 0.0)
+
+
+class TestSplattOne:
+    def test_backend_matches_dense(self):
+        from repro.baselines import SplattOneMttkrp
+
+        rng = np.random.default_rng(50)
+        t = random_coo(rng, (6, 4, 7, 5), 60)
+        factors = random_factors(rng, t.shape, 3)
+        backend = SplattOneMttkrp(t)
+        backend.set_factors(factors)
+        dense = t.to_dense()
+        for mode in range(4):
+            np.testing.assert_allclose(
+                backend.mttkrp(mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_storage_mode_order_ascending(self):
+        from repro.baselines import storage_mode_order
+
+        t = CooTensor.empty((50, 5, 20))
+        assert storage_mode_order(t) == (1, 2, 0)
+
+    def test_single_tree_uses_less_index_memory(self):
+        from repro.baselines import SplattMttkrp, SplattOneMttkrp
+
+        rng = np.random.default_rng(51)
+        t = random_coo(rng, (40, 40, 40, 40), 400)
+        one = SplattOneMttkrp(t)
+        alln = SplattMttkrp(t, eager=True)
+        assert one.index_nbytes() < alln.index_nbytes()
+
+    def test_registry_name(self):
+        from repro.baselines import make_backend
+
+        t = CooTensor.empty((2, 2, 2))
+        assert make_backend("splatt1", t).name == "splatt1"

@@ -1,0 +1,104 @@
+"""Tests for the low-level substrate modules: dtypes and validate."""
+
+import numpy as np
+import pytest
+
+from repro.core import dtypes
+from repro.core import validate as V
+
+
+class TestDtypes:
+    def test_as_index_array_converts_dtype(self):
+        out = dtypes.as_index_array([1, 2, 3])
+        assert out.dtype == dtypes.INDEX_DTYPE
+        assert out.flags.c_contiguous
+
+    def test_as_index_array_no_copy_when_possible(self):
+        src = np.arange(5, dtype=dtypes.INDEX_DTYPE)
+        assert dtypes.as_index_array(src) is src
+
+    def test_as_index_array_copy_forces_copy(self):
+        src = np.arange(5, dtype=dtypes.INDEX_DTYPE)
+        out = dtypes.as_index_array(src, copy=True)
+        assert out is not src
+        out[0] = 99
+        assert src[0] == 0
+
+    def test_as_value_array_from_list(self):
+        out = dtypes.as_value_array([1, 2.5])
+        assert out.dtype == dtypes.VALUE_DTYPE
+
+    def test_as_value_array_fortran_made_contiguous(self):
+        src = np.asfortranarray(np.ones((3, 2)))
+        out = dtypes.as_value_array(src)
+        assert out.flags.c_contiguous
+
+    def test_itemsizes(self):
+        assert dtypes.INDEX_ITEMSIZE == 8
+        assert dtypes.VALUE_ITEMSIZE == 8
+
+
+class TestValidate:
+    def test_check_positive_int(self):
+        assert V.check_positive_int(3, "x") == 3
+        assert V.check_positive_int(np.int64(5), "x") == 5
+        with pytest.raises(ValueError):
+            V.check_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            V.check_positive_int(1.5, "x")
+        with pytest.raises(TypeError):
+            V.check_positive_int(True, "x")  # bools are not counts
+
+    def test_check_positive_int_minimum(self):
+        assert V.check_positive_int(0, "x", minimum=0) == 0
+
+    def test_check_shape(self):
+        assert V.check_shape([2, 3]) == (2, 3)
+        with pytest.raises(ValueError):
+            V.check_shape([])
+        with pytest.raises(ValueError):
+            V.check_shape([2, 0])
+        with pytest.raises(TypeError):
+            V.check_shape(5)
+
+    def test_check_mode_wrapping(self):
+        assert V.check_mode(-1, 3) == 2
+        assert V.check_mode(0, 3) == 0
+        with pytest.raises(ValueError):
+            V.check_mode(3, 3)
+        with pytest.raises(TypeError):
+            V.check_mode("0", 3)
+
+    def test_check_indices_in_bounds(self):
+        idx = np.array([[0, 1], [1, 0]], dtype=np.int64)
+        V.check_indices_in_bounds(idx, (2, 2))  # no raise
+        with pytest.raises(ValueError, match="out of bounds"):
+            V.check_indices_in_bounds(idx, (2, 1))
+        with pytest.raises(ValueError, match="2-D"):
+            V.check_indices_in_bounds(idx.ravel(), (2, 2))
+        with pytest.raises(ValueError, match="columns"):
+            V.check_indices_in_bounds(idx, (2, 2, 2))
+
+    def test_check_factor_matrices(self):
+        factors = [np.ones((3, 2)), np.ones((4, 2))]
+        assert V.check_factor_matrices(factors, (3, 4)) == 2
+        with pytest.raises(ValueError, match="rank"):
+            V.check_factor_matrices(factors, (3, 4), rank=3)
+        with pytest.raises(ValueError, match="rows"):
+            V.check_factor_matrices(factors, (3, 5))
+        with pytest.raises(ValueError, match="inconsistent"):
+            V.check_factor_matrices(
+                [np.ones((3, 2)), np.ones((4, 3))], (3, 4)
+            )
+        with pytest.raises(ValueError, match="expected 2"):
+            V.check_factor_matrices([np.ones((3, 2))], (3, 4))
+
+    def test_check_random_state(self):
+        g = V.check_random_state(None)
+        assert isinstance(g, np.random.Generator)
+        g2 = V.check_random_state(42)
+        g3 = V.check_random_state(42)
+        assert g2.random() == g3.random()
+        assert V.check_random_state(g) is g
+        with pytest.raises(TypeError):
+            V.check_random_state("seed")

@@ -1,0 +1,298 @@
+"""Correctness tests for the memoized MTTKRP engine (repro.core.engine)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.core import strategy as S
+from repro.core.coo import CooTensor
+from repro.core.engine import MemoizedMttkrp, contraction_work
+from repro.core.symbolic import SymbolicTree
+from repro.perf import counting
+
+from .helpers import dense_mttkrp, random_coo, random_factors
+
+RANK = 5
+
+
+def make_engine(rng, shape, nnz, strategy):
+    tensor = random_coo(rng, shape, nnz)
+    factors = random_factors(rng, shape, RANK)
+    eng = MemoizedMttkrp(tensor, strategy, factors)
+    return tensor, factors, eng
+
+
+ALL_STRATEGIES_4D = [
+    S.star(4),
+    S.two_way(4),
+    S.chain(4, 1),
+    S.chain(4, 2),
+    S.balanced_binary(4),
+    S.from_nested((0, (1, 2, 3))),
+    S.from_nested(((0, 2), (1, 3))),  # non-contiguous grouping
+]
+
+
+class TestAgreementWithDense:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES_4D, ids=lambda s: s.name + str(s.to_nested()))
+    def test_all_modes_4d(self, strategy):
+        rng = np.random.default_rng(0)
+        tensor, factors, eng = make_engine(rng, (5, 6, 4, 7), 60, strategy)
+        dense = tensor.to_dense()
+        for mode in range(4):
+            expected = dense_mttkrp(dense, factors, mode)
+            np.testing.assert_allclose(
+                eng.mttkrp(mode), expected, rtol=1e-10, atol=1e-10
+            )
+
+    @pytest.mark.parametrize("order", [2, 3, 5, 6])
+    def test_bdt_other_orders(self, order):
+        rng = np.random.default_rng(order)
+        shape = tuple(rng.integers(3, 7, size=order))
+        tensor, factors, eng = make_engine(rng, shape, 40, S.balanced_binary(order))
+        dense = tensor.to_dense()
+        for mode in range(order):
+            np.testing.assert_allclose(
+                eng.mttkrp(mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_empty_tensor(self):
+        tensor = CooTensor.empty((3, 4, 5))
+        factors = random_factors(np.random.default_rng(1), (3, 4, 5), RANK)
+        eng = MemoizedMttkrp(tensor, "bdt", factors)
+        for mode in range(3):
+            out = eng.mttkrp(mode)
+            assert out.shape == (tensor.shape[mode], RANK)
+            np.testing.assert_array_equal(out, 0.0)
+
+    def test_rank_one(self):
+        rng = np.random.default_rng(2)
+        tensor = random_coo(rng, (4, 4, 4), 20)
+        factors = random_factors(rng, (4, 4, 4), 1)
+        eng = MemoizedMttkrp(tensor, "star", factors)
+        np.testing.assert_allclose(
+            eng.mttkrp(0),
+            dense_mttkrp(tensor.to_dense(), factors, 0),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    @given(hst.integers(1, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_strategy_equivalence(self, seed):
+        """Every strategy computes the identical MTTKRP."""
+        rng = np.random.default_rng(seed)
+        tensor = random_coo(rng, (4, 5, 3, 4), 35)
+        factors = random_factors(rng, tensor.shape, 3)
+        reference = None
+        for strategy in (S.star(4), S.balanced_binary(4), S.chain(4, 2)):
+            eng = MemoizedMttkrp(tensor, strategy, factors)
+            outs = [eng.mttkrp(m) for m in range(4)]
+            if reference is None:
+                reference = outs
+            else:
+                for a, b in zip(reference, outs):
+                    np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-9)
+
+
+class TestInvalidation:
+    def test_update_changes_result(self):
+        rng = np.random.default_rng(3)
+        tensor, factors, eng = make_engine(rng, (4, 4, 4, 4), 30, S.balanced_binary(4))
+        before = eng.mttkrp(0).copy()
+        newU = rng.standard_normal((4, RANK))
+        eng.update_factor(1, newU)
+        factors[1] = newU
+        after = eng.mttkrp(0)
+        expected = dense_mttkrp(tensor.to_dense(), factors, 0)
+        np.testing.assert_allclose(after, expected, rtol=1e-10, atol=1e-10)
+        assert not np.allclose(before, after)
+
+    def test_stale_cache_never_served(self):
+        """Random interleavings of updates and queries always match dense."""
+        rng = np.random.default_rng(4)
+        tensor, factors, eng = make_engine(rng, (4, 5, 3, 4), 40, S.balanced_binary(4))
+        for step in range(30):
+            mode = int(rng.integers(0, 4))
+            if rng.random() < 0.5:
+                U = rng.standard_normal((tensor.shape[mode], RANK))
+                eng.update_factor(mode, U)
+                factors[mode] = U
+            else:
+                np.testing.assert_allclose(
+                    eng.mttkrp(mode),
+                    dense_mttkrp(tensor.to_dense(), factors, mode),
+                    rtol=1e-9, atol=1e-9,
+                )
+
+    def test_cache_reuse_no_rebuild(self):
+        rng = np.random.default_rng(5)
+        _, _, eng = make_engine(rng, (4, 4, 4, 4), 30, S.balanced_binary(4))
+        with counting() as c1:
+            eng.mttkrp(0)
+        assert c1.node_builds > 0
+        with counting() as c2:
+            eng.mttkrp(0)  # cached: no rebuild
+        assert c2.node_builds == 0
+
+    def test_sibling_reuses_shared_parent(self):
+        rng = np.random.default_rng(6)
+        _, _, eng = make_engine(rng, (4, 4, 4, 4), 30, S.balanced_binary(4))
+        eng.mttkrp(0)
+        with counting() as c:
+            eng.mttkrp(1)  # shares the (0,1) internal node with leaf 0
+        assert c.node_builds == 1  # only the leaf itself
+
+    def test_set_factors_drops_cache(self):
+        rng = np.random.default_rng(7)
+        tensor, factors, eng = make_engine(rng, (4, 4, 4), 20, S.star(3))
+        eng.mttkrp(0)
+        new_factors = random_factors(rng, tensor.shape, RANK)
+        eng.set_factors(new_factors)
+        np.testing.assert_allclose(
+            eng.mttkrp(0),
+            dense_mttkrp(tensor.to_dense(), new_factors, 0),
+            rtol=1e-10, atol=1e-10,
+        )
+
+
+class TestScheduleTheorems:
+    """Property tests of the memoization literature's work/memory bounds."""
+
+    @pytest.mark.parametrize("order", [3, 4, 5, 6, 8])
+    def test_builds_per_iteration_equals_nonroot_nodes(self, order):
+        """Post-order mode updates rebuild each node exactly once/iteration."""
+        rng = np.random.default_rng(order)
+        shape = tuple([5] * order)
+        strategy = S.balanced_binary(order)
+        tensor = random_coo(rng, shape, 60)
+        eng = MemoizedMttkrp(tensor, strategy, random_factors(rng, shape, 3))
+        # Warm-up iteration then measure a steady-state iteration.
+        for _ in range(2):
+            with counting() as c:
+                for n in eng.mode_order:
+                    eng.mttkrp(n)
+                    eng.update_factor(
+                        n, rng.standard_normal((shape[n], 3))
+                    )
+        n_nonroot = len(strategy.nodes) - 1
+        assert c.node_builds == n_nonroot
+
+    @pytest.mark.parametrize("order", [4, 6, 8])
+    def test_contraction_count_bound(self, order):
+        """Theorem: <= N * ceil(log2 N) contractions per BDT iteration."""
+        import math
+
+        rng = np.random.default_rng(order)
+        shape = tuple([4] * order)
+        tensor = random_coo(rng, shape, 50)
+        eng = MemoizedMttkrp(
+            tensor, S.balanced_binary(order), random_factors(rng, shape, 2)
+        )
+        for _ in range(2):
+            with counting() as c:
+                for n in eng.mode_order:
+                    eng.mttkrp(n)
+                    eng.update_factor(n, rng.standard_normal((shape[n], 2)))
+        assert c.contractions <= order * math.ceil(math.log2(order))
+        assert c.contractions == S.balanced_binary(order).contractions_per_iteration()
+
+    @pytest.mark.parametrize("order", [4, 6, 8])
+    def test_live_value_matrices_bound(self, order):
+        """Theorem: <= ceil(log2 N)+1 cached non-root nodes at any instant."""
+        import math
+
+        rng = np.random.default_rng(order)
+        shape = tuple([4] * order)
+        tensor = random_coo(rng, shape, 50)
+        strategy = S.balanced_binary(order)
+        eng = MemoizedMttkrp(tensor, strategy, random_factors(rng, shape, 2))
+        peak = 0
+        for _ in range(2):
+            for n in eng.mode_order:
+                eng.mttkrp(n)
+                peak = max(peak, len(eng.cached_node_ids()))
+                eng.update_factor(n, rng.standard_normal((shape[n], 2)))
+        assert peak <= math.ceil(math.log2(order)) + 1
+
+    def test_star_contractions_n_times_n_minus_1(self):
+        rng = np.random.default_rng(11)
+        shape = (4, 4, 4, 4)
+        tensor = random_coo(rng, shape, 40)
+        eng = MemoizedMttkrp(tensor, S.star(4), random_factors(rng, shape, 2))
+        with counting() as c:
+            for n in eng.mode_order:
+                eng.mttkrp(n)
+                eng.update_factor(n, rng.standard_normal((4, 2)))
+        assert c.contractions == 4 * 3
+
+
+class TestApi:
+    def test_factors_required(self):
+        tensor = CooTensor.empty((2, 2))
+        eng = MemoizedMttkrp(tensor, "star")
+        with pytest.raises(RuntimeError):
+            eng.mttkrp(0)
+        with pytest.raises(RuntimeError):
+            _ = eng.rank
+
+    def test_bad_factor_shape_on_update(self):
+        rng = np.random.default_rng(12)
+        _, _, eng = make_engine(rng, (3, 3, 3), 10, S.star(3))
+        with pytest.raises(ValueError):
+            eng.update_factor(0, np.zeros((4, RANK)))
+
+    def test_mode_out_of_range(self):
+        rng = np.random.default_rng(13)
+        _, _, eng = make_engine(rng, (3, 3, 3), 10, S.star(3))
+        with pytest.raises(ValueError):
+            eng.mttkrp(3)
+
+    def test_negative_mode(self):
+        rng = np.random.default_rng(14)
+        tensor, factors, eng = make_engine(rng, (3, 4, 5), 15, S.star(3))
+        np.testing.assert_allclose(eng.mttkrp(-1), eng.mttkrp(2))
+
+    def test_prebuilt_symbolic_reuse(self):
+        rng = np.random.default_rng(15)
+        tensor = random_coo(rng, (4, 4, 4), 20)
+        strat = S.balanced_binary(3)
+        sym = SymbolicTree(tensor, strat)
+        factors = random_factors(rng, tensor.shape, RANK)
+        eng = MemoizedMttkrp(tensor, strat, factors, symbolic=sym)
+        assert eng.symbolic is sym
+        np.testing.assert_allclose(
+            eng.mttkrp(0),
+            dense_mttkrp(tensor.to_dense(), factors, 0),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    def test_prebuilt_symbolic_wrong_tensor_rejected(self):
+        rng = np.random.default_rng(16)
+        t1 = random_coo(rng, (4, 4, 4), 20)
+        t2 = random_coo(rng, (4, 4, 4), 20)
+        sym = SymbolicTree(t1, S.star(3))
+        with pytest.raises(ValueError):
+            MemoizedMttkrp(t2, S.star(3), symbolic=sym)
+
+    def test_node_tensor_materialization(self):
+        rng = np.random.default_rng(17)
+        tensor, factors, eng = make_engine(rng, (3, 4, 5), 20, S.star(3))
+        root = eng.node_tensor(eng.strategy.root_id)
+        assert root.nnz == tensor.nnz
+        np.testing.assert_allclose(root.vals[:, 0], tensor.vals)
+
+    def test_live_value_bytes_tracks_cache(self):
+        rng = np.random.default_rng(18)
+        _, _, eng = make_engine(rng, (4, 4, 4, 4), 30, S.balanced_binary(4))
+        assert eng.live_value_bytes() == 0
+        eng.mttkrp(0)
+        assert eng.live_value_bytes() > 0
+
+
+def test_contraction_work_formula():
+    flops, words = contraction_work(100, 8, 3)
+    assert flops == 100 * 8 * 4
+    assert words == 100 * 8 * 5

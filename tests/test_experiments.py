@@ -1,0 +1,157 @@
+"""Integration tests for the experiment harness (repro.experiments).
+
+Each experiment runs end-to-end at smoke-test scale; assertions target the
+harness mechanics (structure, persistence, judging) rather than the
+performance claims themselves, which depend on machine and scale and are
+asserted by the benchmark suite at benchmark scale.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import (ExperimentResult, e1_datasets, e2_opcounts,
+                               e6_memory, e9_ablations)
+from repro.experiments.common import geometric_mean, iteration_seconds, setup_seconds
+from repro.experiments.runner import (judge, run_experiments, write_reports)
+from repro.synth.datasets import load_dataset
+
+SCALE = 0.02
+
+
+class TestCommon:
+    def test_iteration_seconds_positive(self):
+        tensor = load_dataset("nips", scale=SCALE)
+        t = iteration_seconds(tensor, "coo", 4, repeats=1)
+        assert t > 0
+
+    def test_iteration_seconds_with_factory(self):
+        from repro.core.engine import MemoizedMttkrp
+
+        tensor = load_dataset("nips", scale=SCALE)
+        t = iteration_seconds(
+            tensor, lambda t: MemoizedMttkrp(t, "bdt"), 4, repeats=1
+        )
+        assert t > 0
+
+    def test_setup_seconds(self):
+        tensor = load_dataset("nips", scale=SCALE)
+        assert setup_seconds(tensor, "splatt", 4) > 0
+        assert setup_seconds(tensor, "memoized:bdt", 4) > 0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) != geometric_mean([])  # NaN
+
+    def test_result_json_roundtrip(self):
+        result = e1_datasets.run(scale=SCALE, names=["nips"])
+        data = json.loads(result.to_json())
+        assert data["exp_id"] == "E1"
+        assert len(data["rows"]) == 1
+
+
+class TestIndividualExperiments:
+    def test_e1_structure(self):
+        result = e1_datasets.run(scale=SCALE, names=["nips", "rand4d"])
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 2
+        assert len(result.headers) == len(result.rows[0])
+
+    def test_e2_counts_grow_with_order(self):
+        result = e2_opcounts.run(scale=SCALE, rank=4, orders=(3, 5))
+        ratios = result.observations["flop_ratio_by_order"]
+        assert set(ratios) == {3, 5}
+        assert all(r >= 1.0 for r in ratios.values())
+
+    def test_e6_deterministic(self):
+        a = e6_memory.run(scale=SCALE, rank=4, orders=(3, 4))
+        b = e6_memory.run(scale=SCALE, rank=4, orders=(3, 4))
+        assert a.rows == b.rows
+
+    def test_e9b_monotone_in_skew(self):
+        result = e9_ablations.run_skew_sensitivity(
+            nnz=5000, dim=80, exponents=(0.0, 1.5), rank=4
+        )
+        ratios = result.observations["ratio_by_exponent"]
+        assert ratios[1.5] >= ratios[0.0] - 0.05
+
+
+class TestRunner:
+    def test_run_selected(self):
+        results = run_experiments(["E1"], scale=SCALE, rank=4)
+        assert len(results) == 1
+        assert results[0].exp_id == "E1"
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["E99"], scale=SCALE, rank=4)
+
+    def test_judge_verdicts(self):
+        result = e1_datasets.run(scale=SCALE, names=["skew4d"])
+        assert judge(result) in ("yes", "NO (see table)")
+        unknown = ExperimentResult(
+            exp_id="EX", title="t", headers=[], rows=[],
+            expected_shape="none",
+        )
+        assert judge(unknown) == "n/a"
+
+    def test_write_reports(self, tmp_path):
+        results = run_experiments(["E1"], scale=SCALE, rank=4)
+        md = tmp_path / "EXP.md"
+        write_reports(
+            results, str(tmp_path / "results"), str(md),
+            scale=SCALE, rank=4, elapsed=1.0,
+        )
+        assert (tmp_path / "results" / "e1.txt").exists()
+        assert (tmp_path / "results" / "e1.json").exists()
+        text = md.read_text()
+        assert "E1" in text and "reproduced?" in text
+
+    def test_write_reports_no_md(self, tmp_path):
+        results = run_experiments(["E1"], scale=SCALE, rank=4)
+        write_reports(results, str(tmp_path / "results"), None,
+                      scale=SCALE, rank=4, elapsed=1.0)
+        assert not (tmp_path / "EXPERIMENTS.md").exists()
+
+
+class TestExtensionExperiments:
+    def test_e10_gradient_kernel_structure(self):
+        from repro.experiments import e10_extensions
+
+        result = e10_extensions.run_gradient_kernel(
+            scale=SCALE, rank=4, names=("nips",), repeats=1
+        )
+        assert result.exp_id == "E10a"
+        assert len(result.rows) == 1
+        assert result.observations["sweep_speedup"]["nips"] > 0
+
+    def test_e10_restart_amortization_positive(self):
+        from repro.experiments import e10_extensions
+
+        result = e10_extensions.run_restart_amortization(
+            scale=SCALE, rank=4, name="nips", n_restarts=2, n_iter=2
+        )
+        assert result.observations["restart_speedup"] > 0
+
+    def test_e10_ncp_parity_runs(self):
+        from repro.experiments import e10_extensions
+
+        result = e10_extensions.run_ncp_parity(
+            scale=SCALE, rank=4, name="choa", n_iter=2
+        )
+        assert result.observations["time_ratio"] > 0
+
+    def test_e11_storage_structure(self):
+        from repro.experiments import e11_storage
+
+        result = e11_storage.run(scale=SCALE, names=["nips", "enron"])
+        assert len(result.rows) == 2
+        obs = result.observations
+        assert obs["max_tree_ratio"] <= obs["log_bound"]
+        assert set(obs["hicoo_ratio_by_dataset"]) == {"nips", "enron"}
+
+    def test_run_experiments_includes_extensions(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "E10" in EXPERIMENTS and "E11" in EXPERIMENTS

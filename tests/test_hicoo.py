@@ -1,0 +1,110 @@
+"""Tests for the HiCOO blocked format (repro.formats.hicoo)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coo import CooTensor
+from repro.formats.hicoo import HicooTensor
+
+from .helpers import dense_mttkrp, random_coo, random_factors
+
+
+class TestRoundTrip:
+    def test_to_coo_exact(self):
+        rng = np.random.default_rng(0)
+        t = random_coo(rng, (300, 400, 250), 500)
+        h = HicooTensor(t, block_size=128)
+        back = h.to_coo()
+        assert back.shape == t.shape
+        np.testing.assert_array_equal(back.idx, t.idx)
+        np.testing.assert_allclose(back.vals, t.vals)
+
+    def test_empty(self):
+        h = HicooTensor(CooTensor.empty((10, 10)), block_size=4)
+        assert h.nnz == 0
+        assert h.n_blocks == 0
+        assert h.to_coo().nnz == 0
+
+    @pytest.mark.parametrize("block_size", [2, 16, 128, 100_000])
+    def test_various_block_sizes(self, block_size):
+        rng = np.random.default_rng(1)
+        t = random_coo(rng, (50, 60, 40), 200)
+        h = HicooTensor(t, block_size=block_size)
+        assert h.to_coo().allclose(t)
+
+    def test_offsets_within_block(self):
+        rng = np.random.default_rng(2)
+        t = random_coo(rng, (100, 100), 100)
+        h = HicooTensor(t, block_size=16)
+        assert int(h.offsets.max()) < 16
+
+    def test_offset_dtype_narrow(self):
+        rng = np.random.default_rng(3)
+        t = random_coo(rng, (1000, 1000), 100)
+        assert HicooTensor(t, block_size=128).offsets.dtype == np.uint8
+        assert HicooTensor(t, block_size=1024).offsets.dtype == np.uint16
+
+
+class TestCompression:
+    def test_clustered_tensor_compresses(self):
+        # Nonzeros packed in a few blocks: index memory far below COO.
+        rng = np.random.default_rng(4)
+        base = rng.integers(0, 4, size=(800, 3)) * 128
+        idx = base + rng.integers(0, 128, size=(800, 3))
+        t = CooTensor(idx, rng.random(800), (512, 512, 512))
+        h = HicooTensor(t, block_size=128)
+        assert h.compression_vs_coo() > 2.0
+        assert h.block_density() > 5.0
+
+    def test_scattered_tensor_compresses_less(self):
+        rng = np.random.default_rng(5)
+        scattered = random_coo(rng, (100_000, 100_000, 100_000), 300)
+        clustered_idx = rng.integers(0, 128, size=(300, 3))
+        clustered = CooTensor(
+            clustered_idx, rng.random(300), (100_000,) * 3
+        )
+        h_scattered = HicooTensor(scattered, block_size=128)
+        h_clustered = HicooTensor(clustered, block_size=128)
+        assert (
+            h_clustered.compression_vs_coo()
+            > h_scattered.compression_vs_coo()
+        )
+
+    def test_index_nbytes_consistent(self):
+        rng = np.random.default_rng(6)
+        t = random_coo(rng, (60, 60, 60), 150)
+        h = HicooTensor(t)
+        assert h.nbytes() == h.index_nbytes() + h.vals.nbytes
+
+
+class TestMttkrp:
+    def test_matches_dense(self):
+        rng = np.random.default_rng(7)
+        t = random_coo(rng, (40, 50, 30), 150)
+        factors = random_factors(rng, t.shape, 3)
+        h = HicooTensor(t, block_size=16)
+        dense = t.to_dense()
+        for mode in range(3):
+            np.testing.assert_allclose(
+                h.mttkrp(factors, mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_matches_dense_4d(self):
+        rng = np.random.default_rng(8)
+        t = random_coo(rng, (10, 12, 9, 11), 80)
+        factors = random_factors(rng, t.shape, 2)
+        h = HicooTensor(t, block_size=4)
+        dense = t.to_dense()
+        for mode in range(4):
+            np.testing.assert_allclose(
+                h.mttkrp(factors, mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+
+    def test_empty_mttkrp(self):
+        h = HicooTensor(CooTensor.empty((5, 6)), block_size=4)
+        out = h.mttkrp([np.ones((5, 2)), np.ones((6, 2))], 0)
+        np.testing.assert_array_equal(out, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for tensor I/O (repro.io)."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.core.coo import CooTensor
+from repro.io import cached_dataset, load_npz, read_tns, save_npz, write_tns
+
+from .helpers import random_coo
+
+
+@pytest.fixture
+def tensor():
+    return random_coo(np.random.default_rng(0), (6, 7, 5), 40)
+
+
+class TestFrostt:
+    def test_roundtrip(self, tensor, tmp_path):
+        path = tmp_path / "t.tns"
+        write_tns(tensor, path)
+        back = read_tns(path)
+        assert back.shape == tensor.shape
+        assert back.allclose(tensor)
+
+    def test_gzip_roundtrip(self, tensor, tmp_path):
+        path = tmp_path / "t.tns.gz"
+        write_tns(tensor, path)
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().startswith("#")
+        assert read_tns(path).allclose(tensor)
+
+    def test_explicit_shape_override(self, tensor, tmp_path):
+        path = tmp_path / "t.tns"
+        write_tns(tensor, path)
+        big = read_tns(path, shape=(10, 10, 10))
+        assert big.shape == (10, 10, 10)
+        assert big.nnz == tensor.nnz
+
+    def test_one_based_on_disk(self, tmp_path):
+        path = tmp_path / "t.tns"
+        write_tns(CooTensor([[0, 0]], [2.5], (1, 1)), path)
+        body = [
+            line for line in path.read_text().splitlines()
+            if not line.startswith("#")
+        ]
+        assert body == ["1 1 2.5"]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("# hi\n\n% also a comment\n1 2 3.0\n2 1 4.0\n")
+        t = read_tns(path)
+        assert t.nnz == 2
+        assert t.shape == (2, 2)
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("1 2 3.0\n1 2 3 4.0\n")
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            read_tns(path)
+
+    def test_zero_based_rejected(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("0 1 3.0\n")
+        with pytest.raises(ValueError, match="1-based"):
+            read_tns(path)
+
+    def test_empty_file_needs_shape(self, tmp_path):
+        path = tmp_path / "t.tns"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError):
+            read_tns(path)
+        t = read_tns(path, shape=(2, 3))
+        assert t.nnz == 0
+
+    def test_values_roundtrip_exactly(self, tmp_path):
+        vals = [1.0 / 3.0, 2.5e-17, -1234567.875]
+        t = CooTensor([[0, 0], [1, 1], [2, 2]], vals, (3, 3))
+        path = tmp_path / "t.tns"
+        write_tns(t, path)
+        np.testing.assert_array_equal(read_tns(path).vals, t.vals)
+
+
+class TestNpzCache:
+    def test_roundtrip(self, tensor, tmp_path):
+        path = tmp_path / "t.npz"
+        save_npz(tensor, path)
+        assert load_npz(path).allclose(tensor)
+
+    def test_missing_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, idx=np.zeros((1, 2), np.int64))
+        with pytest.raises(ValueError):
+            load_npz(path)
+
+    def test_cached_dataset_hits_cache(self, tmp_path):
+        a = cached_dataset("nips", tmp_path, scale=0.005)
+        files = list(tmp_path.iterdir())
+        assert len(files) == 1
+        b = cached_dataset("nips", tmp_path, scale=0.005)
+        assert a.allclose(b)
+        assert list(tmp_path.iterdir()) == files

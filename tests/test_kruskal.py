@@ -1,0 +1,135 @@
+"""Tests for repro.core.kruskal."""
+
+import numpy as np
+import pytest
+
+from repro.core.coo import CooTensor
+from repro.core.kruskal import KruskalTensor
+
+from .helpers import random_factors
+
+
+def make_model(shape=(4, 5, 3), rank=3, seed=0):
+    rng = np.random.default_rng(seed)
+    factors = random_factors(rng, shape, rank)
+    weights = rng.random(rank) + 0.5
+    return KruskalTensor(weights, factors)
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = make_model()
+        assert m.rank == 3
+        assert m.shape == (4, 5, 3)
+        assert m.ndim == 3
+
+    def test_weight_shape_validation(self):
+        rng = np.random.default_rng(1)
+        factors = random_factors(rng, (3, 4), 2)
+        with pytest.raises(ValueError):
+            KruskalTensor(np.ones(3), factors)
+
+    def test_rank_mismatch_across_factors(self):
+        with pytest.raises(ValueError):
+            KruskalTensor(np.ones(2), [np.ones((3, 2)), np.ones((4, 3))])
+
+    def test_from_factors_unit_weights(self):
+        m = KruskalTensor.from_factors([np.ones((2, 2)), np.ones((3, 2))])
+        np.testing.assert_array_equal(m.weights, 1.0)
+
+    def test_copy_semantics(self):
+        U = np.ones((2, 1))
+        m = KruskalTensor(np.ones(1), [U, U.copy()])
+        U[0, 0] = 99.0
+        assert m.factors[0][0, 0] == 1.0
+
+
+class TestEvaluation:
+    def test_to_dense_matches_outer_products(self):
+        m = make_model(shape=(3, 4), rank=2, seed=2)
+        expected = sum(
+            m.weights[r] * np.outer(m.factors[0][:, r], m.factors[1][:, r])
+            for r in range(2)
+        )
+        np.testing.assert_allclose(m.to_dense(), expected, atol=1e-12)
+
+    def test_values_at_matches_dense(self):
+        m = make_model(seed=3)
+        dense = m.to_dense()
+        coords = np.array([[0, 0, 0], [3, 4, 2], [1, 2, 1]])
+        np.testing.assert_allclose(
+            m.values_at(coords),
+            [dense[tuple(c)] for c in coords],
+            atol=1e-12,
+        )
+
+    def test_norm_matches_dense(self):
+        m = make_model(seed=4)
+        assert m.norm() == pytest.approx(np.linalg.norm(m.to_dense()))
+
+    def test_fit_perfect_model(self):
+        m = make_model(seed=5)
+        t = CooTensor.from_dense(m.to_dense())
+        assert m.fit(t) == pytest.approx(1.0, abs=1e-8)
+
+    def test_fit_zero_tensor(self):
+        m = make_model(seed=6)
+        t = CooTensor.empty(m.shape)
+        assert m.fit(t) == float("-inf")
+        zero_model = KruskalTensor(
+            np.zeros(2), [np.zeros((s, 2)) for s in (2, 2)]
+        )
+        assert zero_model.fit(CooTensor.empty((2, 2))) == 1.0
+
+    def test_astype_coo_roundtrip(self):
+        m = make_model(shape=(3, 3), rank=1, seed=7)
+        np.testing.assert_allclose(
+            m.astype_coo().to_dense(), m.to_dense(), atol=1e-12
+        )
+
+
+class TestCanonicalForms:
+    def test_normalize_preserves_tensor(self):
+        m = make_model(seed=8)
+        n = m.normalize()
+        np.testing.assert_allclose(n.to_dense(), m.to_dense(), atol=1e-10)
+        for U in n.factors:
+            norms = np.sqrt((U**2).sum(axis=0))
+            np.testing.assert_allclose(norms, 1.0, atol=1e-10)
+
+    def test_arrange_sorts_weights(self):
+        m = make_model(seed=9)
+        a = m.arrange()
+        w = np.abs(a.weights)
+        assert (w[:-1] >= w[1:]).all()
+        np.testing.assert_allclose(a.to_dense(), m.to_dense(), atol=1e-10)
+
+    def test_congruence_identity(self):
+        m = make_model(seed=10)
+        assert m.congruence(m) == pytest.approx(1.0)
+
+    def test_congruence_permutation_invariant(self):
+        m = make_model(seed=11)
+        perm = [2, 0, 1]
+        permuted = KruskalTensor(
+            m.weights[perm], [U[:, perm] for U in m.factors]
+        )
+        assert m.congruence(permuted) == pytest.approx(1.0)
+
+    def test_congruence_scaling_invariant(self):
+        m = make_model(seed=12)
+        scaled = KruskalTensor(
+            m.weights * 7.0, [U.copy() for U in m.factors]
+        )
+        assert m.congruence(scaled) == pytest.approx(1.0)
+
+    def test_congruence_detects_mismatch(self):
+        a = make_model(seed=13)
+        b = make_model(seed=14)
+        assert a.congruence(b) < 0.9
+
+    def test_congruence_shape_check(self):
+        a = make_model(shape=(3, 3, 3))
+        b = make_model(shape=(4, 4, 4))
+        with pytest.raises(ValueError):
+            a.congruence(b)

@@ -1,0 +1,220 @@
+"""Tests for the dense multilinear-algebra substrate (repro.linalg)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coo import CooTensor
+from repro.core.kruskal import KruskalTensor
+from repro.linalg import (GramCache, column_norms, gram, hadamard_grams,
+                          innerprod_from_mttkrp, khatri_rao, khatri_rao_rows,
+                          normalize_columns, psd_pinv,
+                          solve_normal_equations, sparse_kruskal_innerprod)
+
+from .helpers import dense_mttkrp, random_coo, random_factors
+
+
+class TestKhatriRao:
+    def test_two_matrices_matches_kron_columns(self):
+        rng = np.random.default_rng(0)
+        A, B = rng.random((3, 2)), rng.random((4, 2))
+        W = khatri_rao([A, B])
+        assert W.shape == (12, 2)
+        for r in range(2):
+            np.testing.assert_allclose(W[:, r], np.kron(A[:, r], B[:, r]))
+
+    def test_three_matrices_associative(self):
+        rng = np.random.default_rng(1)
+        mats = [rng.random((s, 3)) for s in (2, 3, 4)]
+        direct = khatri_rao(mats)
+        nested = khatri_rao([khatri_rao(mats[:2]), mats[2]])
+        np.testing.assert_allclose(direct, nested)
+
+    def test_reverse(self):
+        rng = np.random.default_rng(2)
+        mats = [rng.random((s, 2)) for s in (2, 3)]
+        np.testing.assert_allclose(
+            khatri_rao(mats, reverse=True), khatri_rao(mats[::-1])
+        )
+
+    def test_single_matrix_identity(self):
+        A = np.random.default_rng(3).random((4, 2))
+        np.testing.assert_allclose(khatri_rao([A]), A)
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            khatri_rao([])
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            khatri_rao([np.ones((2, 2)), np.ones((2, 3))])
+
+    def test_row_major_ordering_matches_matricize(self):
+        """khatri_rao ordering matches CooTensor.matricize columns."""
+        rng = np.random.default_rng(4)
+        t = random_coo(rng, (3, 4, 5), 20)
+        factors = random_factors(rng, t.shape, 2)
+        M_via_matricize = t.matricize(0) @ khatri_rao(factors[1:])
+        np.testing.assert_allclose(
+            M_via_matricize, dense_mttkrp(t.to_dense(), factors, 0),
+            atol=1e-12,
+        )
+
+
+class TestKhatriRaoRows:
+    def test_matches_full_product(self):
+        rng = np.random.default_rng(5)
+        A, B = rng.random((3, 2)), rng.random((4, 2))
+        full = khatri_rao([A, B])
+        rows_a = np.array([0, 2, 1])
+        rows_b = np.array([1, 3, 0])
+        sel = khatri_rao_rows([A, B], [rows_a, rows_b])
+        np.testing.assert_allclose(sel, full[rows_a * 4 + rows_b])
+
+    def test_input_not_mutated(self):
+        A = np.ones((2, 2))
+        B = np.full((2, 2), 2.0)
+        khatri_rao_rows([A, B], [np.array([0]), np.array([0])])
+        np.testing.assert_array_equal(A, 1.0)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            khatri_rao_rows([np.ones((2, 2))], [])
+
+
+class TestGram:
+    def test_gram_symmetric(self):
+        U = np.random.default_rng(6).random((5, 3))
+        G = gram(U)
+        np.testing.assert_allclose(G, G.T)
+        np.testing.assert_allclose(G, U.T @ U, atol=1e-12)
+
+    def test_hadamard_grams_skip(self):
+        rng = np.random.default_rng(7)
+        grams = [gram(rng.random((4, 2))) for _ in range(3)]
+        out = hadamard_grams(grams, skip=1)
+        np.testing.assert_allclose(out, grams[0] * grams[2])
+
+    def test_hadamard_grams_all(self):
+        rng = np.random.default_rng(8)
+        grams = [gram(rng.random((4, 2))) for _ in range(3)]
+        np.testing.assert_allclose(
+            hadamard_grams(grams), grams[0] * grams[1] * grams[2]
+        )
+
+    def test_skip_only_matrix_gives_ones(self):
+        out = hadamard_grams([np.full((2, 2), 7.0)], skip=0)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            hadamard_grams([])
+
+    def test_skip_out_of_range(self):
+        with pytest.raises(ValueError):
+            hadamard_grams([np.ones((2, 2))], skip=5)
+
+    def test_gram_cache_update(self):
+        rng = np.random.default_rng(9)
+        factors = random_factors(rng, (3, 4, 5), 2)
+        cache = GramCache(factors)
+        newU = rng.random((4, 2))
+        cache.update(1, newU)
+        np.testing.assert_allclose(cache[1], gram(newU), atol=1e-12)
+        expected = gram(factors[0]) * gram(newU)
+        np.testing.assert_allclose(cache.combined(skip=2), expected, atol=1e-12)
+        assert len(cache) == 3
+
+
+class TestSolve:
+    def test_well_conditioned(self):
+        rng = np.random.default_rng(10)
+        U_true = rng.random((6, 3))
+        H = gram(rng.random((8, 3))) + np.eye(3)
+        M = U_true @ H
+        np.testing.assert_allclose(
+            solve_normal_equations(M, H), U_true, atol=1e-8
+        )
+
+    def test_singular_falls_back_to_pinv(self):
+        H = np.array([[1.0, 1.0], [1.0, 1.0]])  # rank 1
+        M = np.array([[2.0, 2.0]])
+        U = solve_normal_equations(M, H)
+        # Minimum-norm solution of U H = M.
+        np.testing.assert_allclose(U @ H, M, atol=1e-8)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            solve_normal_equations(np.ones((2, 3)), np.ones((2, 2)))
+
+    def test_psd_pinv_inverts_full_rank(self):
+        rng = np.random.default_rng(11)
+        H = gram(rng.random((10, 4))) + 0.1 * np.eye(4)
+        np.testing.assert_allclose(psd_pinv(H) @ H, np.eye(4), atol=1e-8)
+
+    def test_psd_pinv_zero_matrix(self):
+        np.testing.assert_allclose(psd_pinv(np.zeros((3, 3))), 0.0)
+
+
+class TestNorms:
+    def test_column_norms_orders(self):
+        U = np.array([[3.0, 1.0], [4.0, -2.0]])
+        np.testing.assert_allclose(column_norms(U), [5.0, np.sqrt(5.0)])
+        np.testing.assert_allclose(column_norms(U, 1), [7.0, 3.0])
+        np.testing.assert_allclose(column_norms(U, "max"), [4.0, 2.0])
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            column_norms(np.ones((2, 2)), 3)
+
+    def test_normalize_columns(self):
+        U = np.array([[3.0, 0.0], [4.0, 0.0]])
+        Un, norms = normalize_columns(U)
+        np.testing.assert_allclose(norms, [5.0, 0.0])
+        np.testing.assert_allclose(Un[:, 0], [0.6, 0.8])
+        np.testing.assert_allclose(Un[:, 1], 0.0)  # zero column untouched
+
+    @given(st.integers(1, 5), st.integers(1, 4), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_unit_norms(self, rows, cols, seed):
+        U = np.random.default_rng(seed).standard_normal((rows, cols))
+        Un, norms = normalize_columns(U)
+        recomputed = column_norms(Un)
+        for r in range(cols):
+            if norms[r] > 1e-12:
+                assert recomputed[r] == pytest.approx(1.0)
+
+
+class TestInnerProd:
+    def test_sparse_kruskal_matches_dense(self):
+        rng = np.random.default_rng(12)
+        t = random_coo(rng, (4, 5, 3), 20)
+        factors = random_factors(rng, t.shape, 3)
+        weights = rng.random(3)
+        model = KruskalTensor(weights, factors)
+        expected = float(np.sum(t.to_dense() * model.to_dense()))
+        assert sparse_kruskal_innerprod(t, weights, factors) == pytest.approx(
+            expected
+        )
+
+    def test_innerprod_from_mttkrp_identity(self):
+        rng = np.random.default_rng(13)
+        t = random_coo(rng, (4, 5, 3), 25)
+        factors = random_factors(rng, t.shape, 2)
+        weights = rng.random(2)
+        M_last = dense_mttkrp(t.to_dense(), factors, 2)
+        via_mttkrp = innerprod_from_mttkrp(M_last, factors[2], weights)
+        direct = sparse_kruskal_innerprod(t, weights, factors)
+        assert via_mttkrp == pytest.approx(direct)
+
+    def test_empty_tensor(self):
+        t = CooTensor.empty((2, 2))
+        assert sparse_kruskal_innerprod(
+            t, np.ones(1), [np.ones((2, 1)), np.ones((2, 1))]
+        ) == 0.0
+
+    def test_wrong_factor_count(self):
+        t = CooTensor.empty((2, 2))
+        with pytest.raises(ValueError):
+            sparse_kruskal_innerprod(t, np.ones(1), [np.ones((2, 1))])

@@ -1,0 +1,204 @@
+"""Tests for the adaptive planner (repro.model.planner) and overlap counter."""
+
+import numpy as np
+import pytest
+
+from repro.core import strategy as S
+from repro.core.coo import CooTensor
+from repro.core.symbolic import SymbolicTree
+from repro.model.calibrate import calibrate_machine, reset_calibration
+from repro.model.cost import MachineModel
+from repro.model.overlap import DistinctCounter
+from repro.model.planner import plan
+from repro.model.report import format_table
+from repro.synth.skewed import skewed_random_tensor
+
+from .helpers import random_coo
+
+
+@pytest.fixture(scope="module")
+def tensor4d():
+    return skewed_random_tensor(
+        (40, 50, 30, 20), 3000, exponents=1.1, random_state=0
+    )
+
+
+class TestDistinctCounter:
+    def test_exact_counts_match_symbolic(self, tensor4d):
+        counter = DistinctCounter(tensor4d)
+        for strategy in (S.star(4), S.balanced_binary(4), S.chain(4, 2)):
+            sym = SymbolicTree(tensor4d, strategy)
+            assert counter.node_nnz(strategy) == sym.node_nnz()
+
+    def test_full_mode_set_is_nnz(self, tensor4d):
+        counter = DistinctCounter(tensor4d)
+        assert counter.count(range(4)) == tensor4d.nnz
+
+    def test_empty_mode_set(self, tensor4d):
+        counter = DistinctCounter(tensor4d)
+        assert counter.count([]) == 1
+
+    def test_empty_tensor(self):
+        counter = DistinctCounter(CooTensor.empty((3, 4)))
+        assert counter.count([0]) == 0
+        assert counter.count([]) == 0
+
+    def test_cache_shared_across_strategies(self, tensor4d):
+        counter = DistinctCounter(tensor4d)
+        counter.node_nnz(S.balanced_binary(4))
+        size_after_first = counter.cache_size()
+        counter.node_nnz(S.two_way(4))  # same mode sets: (0,1), (2,3), leaves
+        assert counter.cache_size() == size_after_first
+
+    def test_sampled_reasonable(self):
+        t = skewed_random_tensor((200, 200, 200), 30_000, 1.2, random_state=1)
+        exact = DistinctCounter(t, method="exact")
+        sampled = DistinctCounter(t, method="sampled", sample_size=5000)
+        for modes in ([0, 1], [1, 2], [0]):
+            e = exact.count(modes)
+            s = sampled.count(modes)
+            assert 0.3 * e <= s <= 3.0 * e, (modes, e, s)
+
+    def test_sampled_capped_by_nnz(self):
+        t = skewed_random_tensor((50, 50, 50), 5000, 0.0, random_state=2)
+        sampled = DistinctCounter(t, method="sampled", sample_size=1000)
+        assert sampled.count([0, 1, 2]) == t.nnz
+        assert sampled.count([0]) <= 50
+
+    def test_invalid_method(self, tensor4d):
+        with pytest.raises(ValueError):
+            DistinctCounter(tensor4d, method="guess")
+
+
+class TestPlanner:
+    def test_best_is_first_feasible(self, tensor4d):
+        report = plan(tensor4d, rank=8)
+        assert report.best is report.scored[0]
+        assert report.best.feasible
+
+    def test_candidates_sorted_by_prediction(self, tensor4d):
+        report = plan(tensor4d, rank=8)
+        preds = [s.predicted_seconds for s in report.scored if s.feasible]
+        assert preds == sorted(preds)
+
+    def test_star_never_beats_best(self, tensor4d):
+        """The planner includes the star, so best <= star in prediction."""
+        report = plan(tensor4d, rank=8)
+        star_rank = report.rank_of(S.star(4))
+        assert report.scored[star_rank].predicted_seconds >= (
+            report.best.predicted_seconds
+        )
+
+    def test_memoization_chosen_for_skewed_tensor(self, tensor4d):
+        """On an order-4 skewed tensor memoization must win the prediction."""
+        report = plan(tensor4d, rank=16)
+        assert report.best.strategy.n_intermediates() > 0
+
+    def test_memory_budget_excludes_candidates(self, tensor4d):
+        unbounded = plan(tensor4d, rank=8)
+        # Budget below the best candidate's footprint forces a cheaper pick.
+        tight = plan(
+            tensor4d, rank=8,
+            memory_budget=unbounded.best.cost.total_memory_bytes - 1,
+        )
+        assert tight.best.strategy != unbounded.best.strategy or (
+            tight.best.cost.total_memory_bytes
+            < unbounded.best.cost.total_memory_bytes
+        )
+
+    def test_impossible_budget_raises_on_best(self, tensor4d):
+        report = plan(tensor4d, rank=8, memory_budget=1)
+        with pytest.raises(RuntimeError):
+            _ = report.best
+
+    def test_explicit_candidates(self, tensor4d):
+        cands = [S.star(4), S.balanced_binary(4)]
+        report = plan(tensor4d, rank=4, candidates=cands)
+        assert len(report.scored) == 2
+
+    def test_wrong_order_candidate_rejected(self, tensor4d):
+        with pytest.raises(ValueError):
+            plan(tensor4d, rank=4, candidates=[S.star(3)])
+
+    def test_empty_candidates_rejected(self, tensor4d):
+        with pytest.raises(ValueError):
+            plan(tensor4d, rank=4, candidates=[])
+
+    def test_order_one_tensor_rejected(self):
+        with pytest.raises(ValueError):
+            plan(CooTensor.empty((5,)), rank=2)
+
+    def test_sampled_planning(self, tensor4d):
+        report = plan(tensor4d, rank=8, count_method="sampled",
+                      sample_size=1000)
+        assert report.best.feasible
+        assert report.count_method == "sampled"
+
+    def test_summary_renders(self, tensor4d):
+        report = plan(tensor4d, rank=8)
+        text = report.summary()
+        assert "candidates" in text
+
+    def test_rank_of_unknown_strategy(self, tensor4d):
+        report = plan(tensor4d, rank=8, candidates=[S.star(4)])
+        with pytest.raises(KeyError):
+            report.rank_of(S.balanced_binary(4))
+
+    def test_planner_prediction_orders_actual_work(self, tensor4d):
+        """Predicted flop ordering equals measured flop ordering (exact counts)."""
+        from repro.core.engine import MemoizedMttkrp
+        from repro.perf import counting
+
+        rng = np.random.default_rng(3)
+        factors = [
+            rng.random((s, 8)) for s in tensor4d.shape
+        ]
+        report = plan(tensor4d, rank=8,
+                      candidates=[S.star(4), S.balanced_binary(4)])
+        measured = {}
+        for scored in report.scored:
+            eng = MemoizedMttkrp(tensor4d, scored.strategy, factors)
+            for n in eng.mode_order:  # warm-up
+                eng.mttkrp(n)
+                eng.update_factor(n, factors[n])
+            with counting() as c:
+                for n in eng.mode_order:
+                    eng.mttkrp(n)
+                    eng.update_factor(n, factors[n])
+            measured[scored.strategy.signature()] = c.flops
+            assert c.flops == scored.cost.flops_per_iteration
+        sigs = [s.strategy.signature() for s in report.scored]
+        assert measured[sigs[0]] <= measured[sigs[1]]
+
+
+class TestCalibrate:
+    def test_calibration_positive_and_cached(self):
+        reset_calibration()
+        m1 = calibrate_machine(n_elements=100_000, repeats=1)
+        assert m1.alpha_per_flop > 0
+        assert m1.beta_per_word > 0
+        m2 = calibrate_machine()
+        assert m2 is m1  # cached
+        reset_calibration()
+
+    def test_force_recalibrates(self):
+        m1 = calibrate_machine(n_elements=100_000, repeats=1)
+        m2 = calibrate_machine(n_elements=100_000, repeats=1, force=True)
+        assert m2 is not m1
+        reset_calibration()
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["b", 2_000_000]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert len(lines) == 5
+
+    def test_numeric_right_aligned(self):
+        text = format_table(["x"], [[1.0], [100.0]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("1")

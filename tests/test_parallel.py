@@ -1,0 +1,268 @@
+"""Tests for the multicore runtime (repro.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.core import strategy as S
+from repro.core.coo import CooTensor
+from repro.core.cpals import cp_als
+from repro.model.cost import cost_from_symbolic
+from repro.core.symbolic import SymbolicTree
+from repro.parallel import (ParallelCooMttkrp, ParallelMemoizedMttkrp,
+                            ScalingParams, WorkerPool, contiguous_chunks,
+                            greedy_partition, load_imbalance,
+                            partition_balance, partition_nonzeros,
+                            partition_slices, simulate_parallel_time,
+                            simulate_speedup_curve)
+from repro.synth.lowrank import lowrank_tensor
+
+from .helpers import dense_mttkrp, random_coo, random_factors
+
+
+class TestPartition:
+    def test_contiguous_chunks_cover(self):
+        chunks = contiguous_chunks(10, 3)
+        assert chunks[0][0] == 0
+        assert chunks[-1][1] == 10
+        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+            assert b == c
+
+    def test_chunks_near_equal(self):
+        sizes = [hi - lo for lo, hi in contiguous_chunks(100, 7)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        chunks = contiguous_chunks(2, 5)
+        assert len(chunks) == 5
+        assert sum(hi - lo for lo, hi in chunks) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            contiguous_chunks(-1, 2)
+        with pytest.raises((TypeError, ValueError)):
+            contiguous_chunks(5, 0)
+
+    def test_greedy_partition_balances(self):
+        weights = [10, 9, 8, 1, 1, 1]
+        assign = greedy_partition(weights, 2)
+        assert partition_balance(weights, assign, 2) <= 1.2
+
+    def test_greedy_partition_negative_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_partition([-1.0], 2)
+
+    def test_partition_nonzeros(self):
+        rng = np.random.default_rng(0)
+        t = random_coo(rng, (5, 5, 5), 50)
+        chunks = partition_nonzeros(t, 4)
+        assert sum(hi - lo for lo, hi in chunks) == t.nnz
+
+    def test_partition_slices_assigns_all(self):
+        rng = np.random.default_rng(1)
+        t = random_coo(rng, (10, 5, 5), 80)
+        assign = partition_slices(t, 0, 3)
+        assert assign.shape == (10,)
+        assert set(assign) <= {0, 1, 2}
+
+
+class TestWorkerPool:
+    def test_single_worker_inline(self):
+        pool = WorkerPool(1)
+        assert pool.run([lambda: 1, lambda: 2]) == [1, 2]
+        pool.close()
+
+    def test_multi_worker_ordered_results(self):
+        with WorkerPool(4) as pool:
+            results = pool.run([(lambda i=i: i * i) for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    def test_exception_propagates(self):
+        def boom():
+            raise RuntimeError("boom")
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError, match="boom"):
+                pool.run([boom, boom])
+
+    def test_invalid_worker_count(self):
+        with pytest.raises((TypeError, ValueError)):
+            WorkerPool(0)
+
+
+class TestParallelCoo:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_matches_dense(self, n_workers):
+        rng = np.random.default_rng(2)
+        t = random_coo(rng, (6, 7, 5), 60)
+        factors = random_factors(rng, t.shape, 3)
+        backend = ParallelCooMttkrp(t, n_workers=n_workers)
+        backend.set_factors(factors)
+        dense = t.to_dense()
+        for mode in range(3):
+            np.testing.assert_allclose(
+                backend.mttkrp(mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+        backend.close()
+
+    def test_empty_tensor(self):
+        backend = ParallelCooMttkrp(CooTensor.empty((3, 4)), n_workers=2)
+        backend.set_factors(random_factors(np.random.default_rng(3), (3, 4), 2))
+        np.testing.assert_array_equal(backend.mttkrp(0), 0.0)
+        backend.close()
+
+    def test_worker_count_exceeds_nnz(self):
+        rng = np.random.default_rng(4)
+        t = random_coo(rng, (4, 4), 3)
+        factors = random_factors(rng, t.shape, 2)
+        backend = ParallelCooMttkrp(t, n_workers=8)
+        backend.set_factors(factors)
+        np.testing.assert_allclose(
+            backend.mttkrp(1),
+            dense_mttkrp(t.to_dense(), factors, 1),
+            rtol=1e-10, atol=1e-10,
+        )
+        backend.close()
+
+
+class TestParallelMemoized:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @pytest.mark.parametrize("strategy", ["star", "bdt"])
+    def test_matches_dense(self, n_workers, strategy):
+        rng = np.random.default_rng(5)
+        t = random_coo(rng, (6, 5, 7, 4), 70)
+        factors = random_factors(rng, t.shape, 3)
+        eng = ParallelMemoizedMttkrp(t, strategy, factors, n_workers=n_workers,
+                                     min_chunk_rows=4)
+        dense = t.to_dense()
+        for mode in range(4):
+            np.testing.assert_allclose(
+                eng.mttkrp(mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+        eng.close()
+
+    def test_matches_sequential_engine_through_cpals(self):
+        planted = lowrank_tensor((10, 8, 6, 5), rank=2, nnz=10 * 8 * 6 * 5,
+                                 random_state=6)
+        seq = cp_als(planted.tensor, rank=2, strategy="bdt", n_iter_max=4,
+                     tol=0.0, random_state=7)
+        par = cp_als(
+            planted.tensor, rank=2, n_iter_max=4, tol=0.0, random_state=7,
+            engine_factory=lambda t: ParallelMemoizedMttkrp(
+                t, S.balanced_binary(4), n_workers=3, min_chunk_rows=4
+            ),
+        )
+        np.testing.assert_allclose(seq.fits, par.fits, rtol=1e-9)
+
+    def test_update_invalidation_still_correct(self):
+        rng = np.random.default_rng(8)
+        t = random_coo(rng, (5, 5, 5, 5), 60)
+        factors = random_factors(rng, t.shape, 2)
+        eng = ParallelMemoizedMttkrp(t, "bdt", factors, n_workers=2,
+                                     min_chunk_rows=4)
+        eng.mttkrp(0)
+        newU = rng.standard_normal((5, 2))
+        eng.update_factor(2, newU)
+        factors[2] = newU
+        np.testing.assert_allclose(
+            eng.mttkrp(0),
+            dense_mttkrp(t.to_dense(), factors, 0),
+            rtol=1e-10, atol=1e-10,
+        )
+        eng.close()
+
+
+class TestScalingSimulator:
+    @pytest.fixture
+    def cost(self):
+        # Large enough that per-sync overhead does not dominate the model.
+        rng = np.random.default_rng(9)
+        t = random_coo(rng, (100, 100, 100, 100), 200_000)
+        return cost_from_symbolic(SymbolicTree(t, S.balanced_binary(4)), 16)
+
+    def test_speedup_monotone_until_saturation(self, cost):
+        curve = simulate_speedup_curve(cost, [1, 2, 4, 8])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[2] > 1.0
+        assert curve[4] > curve[2]
+
+    def test_bandwidth_saturation_limits_speedup(self, cost):
+        params = ScalingParams(bandwidth_workers=2, sync_seconds=0.0,
+                               memory_bound_fraction=1.0)
+        curve = simulate_speedup_curve(cost, [1, 2, 4, 16], params=params)
+        assert curve[16] <= 2.0 + 1e-9
+
+    def test_perfect_scaling_when_compute_bound(self, cost):
+        params = ScalingParams(bandwidth_workers=10**6, sync_seconds=0.0,
+                               memory_bound_fraction=0.0)
+        curve = simulate_speedup_curve(cost, [1, 4], params=params)
+        assert curve[4] == pytest.approx(4.0)
+
+    def test_sync_overhead_hurts_small_problems(self, cost):
+        slow_sync = ScalingParams(sync_seconds=10.0)
+        t = simulate_parallel_time(cost, 8, params=slow_sync)
+        assert t > simulate_parallel_time(cost, 8)
+
+    def test_invalid_worker_count(self, cost):
+        with pytest.raises(ValueError):
+            simulate_parallel_time(cost, 0)
+
+    def test_load_imbalance_uniform(self):
+        rng = np.random.default_rng(10)
+        t = random_coo(rng, (10, 10, 10), 400)
+        assert load_imbalance(t, 4) <= 1.05
+
+
+class TestSliceParallel:
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_matches_dense(self, n_workers):
+        from repro.parallel import SliceParallelMttkrp
+
+        rng = np.random.default_rng(20)
+        t = random_coo(rng, (7, 6, 5), 70)
+        factors = random_factors(rng, t.shape, 3)
+        backend = SliceParallelMttkrp(t, n_workers=n_workers)
+        backend.set_factors(factors)
+        dense = t.to_dense()
+        for mode in range(3):
+            np.testing.assert_allclose(
+                backend.mttkrp(mode),
+                dense_mttkrp(dense, factors, mode),
+                rtol=1e-10, atol=1e-10,
+            )
+        backend.close()
+
+    def test_imbalance_recorded(self):
+        from repro.parallel import SliceParallelMttkrp
+
+        rng = np.random.default_rng(21)
+        t = random_coo(rng, (8, 8, 8), 100)
+        backend = SliceParallelMttkrp(t, n_workers=3)
+        backend.set_factors(random_factors(rng, t.shape, 2))
+        backend.mttkrp(0)
+        assert backend.imbalance[0] >= 1.0
+
+    def test_skewed_slices_increase_imbalance(self):
+        from repro.parallel import SliceParallelMttkrp
+        from repro.core.coo import CooTensor
+
+        # One dominant slice: imbalance must exceed the uniform case.
+        idx = np.array([[0, i % 9, i % 7] for i in range(60)]
+                       + [[1 + i % 4, i % 9, i % 7] for i in range(20)])
+        t = CooTensor(idx, np.ones(len(idx)), (5, 9, 7))
+        backend = SliceParallelMttkrp(t, n_workers=4)
+        backend.set_factors(random_factors(np.random.default_rng(22), t.shape, 2))
+        backend.mttkrp(0)
+        assert backend.imbalance[0] > 1.5
+
+    def test_empty_tensor(self):
+        from repro.parallel import SliceParallelMttkrp
+        from repro.core.coo import CooTensor
+
+        backend = SliceParallelMttkrp(CooTensor.empty((3, 3)), n_workers=2)
+        backend.set_factors(random_factors(np.random.default_rng(23), (3, 3), 2))
+        np.testing.assert_array_equal(backend.mttkrp(0), 0.0)
+        backend.close()

@@ -1,0 +1,74 @@
+"""Tests for instrumentation (repro.perf)."""
+
+import time
+
+import pytest
+
+from repro.perf import (Counters, Timer, active_counters, counting, record,
+                        time_callable)
+
+
+class TestCounters:
+    def test_record_into_active(self):
+        with counting() as c:
+            record(flops=10, words=5)
+            record(flops=1)
+        assert c.flops == 11
+        assert c.words == 5
+
+    def test_no_active_is_noop(self):
+        assert active_counters() is None
+        record(flops=100)  # must not raise
+
+    def test_nested_contexts_isolate(self):
+        with counting() as outer:
+            record(flops=1)
+            with counting() as inner:
+                record(flops=10)
+            record(flops=1)
+        assert inner.flops == 10
+        assert outer.flops == 2
+
+    def test_extra_events(self):
+        with counting() as c:
+            record(custom_event=3)
+            record(custom_event=4)
+        assert c.extra["custom_event"] == 7
+        assert c.snapshot()["custom_event"] == 7
+
+    def test_add_and_reset(self):
+        a = Counters(flops=1, words=2)
+        b = Counters(flops=10, extra={"x": 1})
+        a.add(b)
+        assert a.flops == 11 and a.extra["x"] == 1
+        a.reset()
+        assert a.flops == 0 and not a.extra
+
+    def test_external_counters_object(self):
+        mine = Counters()
+        with counting(mine) as c:
+            assert c is mine
+            record(mttkrps=2)
+        assert mine.mttkrps == 2
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        t = Timer()
+        for _ in range(3):
+            with t:
+                time.sleep(0.001)
+        assert len(t.laps) == 3
+        assert t.elapsed >= 0.003
+        assert t.best <= t.mean <= t.elapsed
+
+    def test_empty_timer(self):
+        t = Timer()
+        assert t.mean == 0.0
+        assert t.best == 0.0
+
+    def test_time_callable(self):
+        calls = []
+        out = time_callable(lambda: calls.append(1), repeats=2, warmup=1)
+        assert len(calls) == 3
+        assert out >= 0.0

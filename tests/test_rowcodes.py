@@ -1,0 +1,127 @@
+"""Unit tests for repro.core.rowcodes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import rowcodes
+
+
+class TestFitsInt64:
+    def test_small_dims_fit(self):
+        assert rowcodes.fits_int64([10, 20, 30])
+
+    def test_empty_dims_fit(self):
+        assert rowcodes.fits_int64([])
+
+    def test_huge_product_does_not_fit(self):
+        assert not rowcodes.fits_int64([2**40, 2**40])
+
+    def test_boundary(self):
+        assert rowcodes.fits_int64([2**62])
+        assert not rowcodes.fits_int64([2**62, 4])
+
+
+class TestEncodeRows:
+    def test_row_major_order(self):
+        idx = np.array([[0, 0], [0, 1], [1, 0]], dtype=np.int64)
+        codes = rowcodes.encode_rows(idx, [2, 3])
+        assert codes.tolist() == [0, 1, 3]
+
+    def test_matches_lexicographic_order(self):
+        rng = np.random.default_rng(0)
+        idx = rng.integers(0, 7, size=(50, 3)).astype(np.int64)
+        codes = rowcodes.encode_rows(idx, [7, 7, 7])
+        by_code = np.argsort(codes, kind="stable")
+        by_lex = rowcodes.lexsort_rows(idx)
+        assert np.array_equal(idx[by_code], idx[by_lex])
+
+    def test_column_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rowcodes.encode_rows(np.zeros((2, 2), dtype=np.int64), [5])
+
+    def test_overflow_raises(self):
+        idx = np.zeros((1, 2), dtype=np.int64)
+        with pytest.raises(OverflowError):
+            rowcodes.encode_rows(idx, [2**40, 2**40])
+
+    def test_zero_columns(self):
+        codes = rowcodes.encode_rows(np.zeros((4, 0), dtype=np.int64), [])
+        assert codes.tolist() == [0, 0, 0, 0]
+
+    def test_codes_unique_iff_rows_unique(self):
+        idx = np.array([[1, 2], [1, 2], [2, 1]], dtype=np.int64)
+        codes = rowcodes.encode_rows(idx, [4, 4])
+        assert codes[0] == codes[1] != codes[2]
+
+
+class TestGroupRows:
+    def test_basic_grouping(self):
+        idx = np.array([[1, 1], [0, 0], [1, 1], [0, 1]], dtype=np.int64)
+        unique_rows, inverse = rowcodes.group_rows(idx, [2, 2])
+        assert unique_rows.tolist() == [[0, 0], [0, 1], [1, 1]]
+        assert inverse.tolist() == [2, 0, 2, 1]
+
+    def test_reconstruction_property(self):
+        rng = np.random.default_rng(1)
+        idx = rng.integers(0, 5, size=(200, 4)).astype(np.int64)
+        unique_rows, inverse = rowcodes.group_rows(idx, [5] * 4)
+        assert np.array_equal(unique_rows[inverse], idx)
+
+    def test_unique_rows_sorted(self):
+        rng = np.random.default_rng(2)
+        idx = rng.integers(0, 4, size=(100, 3)).astype(np.int64)
+        unique_rows, _ = rowcodes.group_rows(idx, [4] * 3)
+        order = rowcodes.lexsort_rows(unique_rows)
+        assert np.array_equal(order, np.arange(unique_rows.shape[0]))
+
+    def test_empty_input(self):
+        idx = np.zeros((0, 3), dtype=np.int64)
+        unique_rows, inverse = rowcodes.group_rows(idx, [4] * 3)
+        assert unique_rows.shape == (0, 3)
+        assert inverse.shape == (0,)
+
+    def test_matches_np_unique_on_fallback_path(self):
+        rng = np.random.default_rng(3)
+        idx = rng.integers(0, 3, size=(60, 2)).astype(np.int64)
+        # Force the lexicographic fallback with oversized dims.
+        u1, inv1 = rowcodes.group_rows(idx, [2**40, 2**40])
+        u2, inv2 = np.unique(idx, axis=0, return_inverse=True)
+        assert np.array_equal(u1, u2)
+        assert np.array_equal(inv1, inv2.ravel())
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6), st.integers(0, 6)),
+            min_size=0, max_size=80,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_np_unique(self, rows):
+        idx = np.array(rows, dtype=np.int64).reshape(len(rows), 3)
+        u1, inv1 = rowcodes.group_rows(idx, [7, 7, 7])
+        if len(rows):
+            u2, inv2 = np.unique(idx, axis=0, return_inverse=True)
+            assert np.array_equal(u1, u2)
+            assert np.array_equal(inv1, inv2.ravel())
+        else:
+            assert u1.shape[0] == 0
+
+
+class TestCountDistinctRows:
+    def test_counts(self):
+        idx = np.array([[0, 0], [0, 0], [1, 0]], dtype=np.int64)
+        assert rowcodes.count_distinct_rows(idx, [2, 2]) == 2
+
+    def test_empty(self):
+        assert rowcodes.count_distinct_rows(np.zeros((0, 2), np.int64), [2, 2]) == 0
+
+    def test_zero_columns_counts_one(self):
+        assert rowcodes.count_distinct_rows(np.zeros((5, 0), np.int64), []) == 1
+
+    def test_agrees_with_group_rows(self):
+        rng = np.random.default_rng(4)
+        idx = rng.integers(0, 9, size=(300, 3)).astype(np.int64)
+        u, _ = rowcodes.group_rows(idx, [9] * 3)
+        assert rowcodes.count_distinct_rows(idx, [9] * 3) == u.shape[0]

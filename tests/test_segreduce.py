@@ -1,0 +1,146 @@
+"""Unit tests for repro.core.segreduce."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segreduce import SegmentPlan, segment_sum
+
+
+def reference_reduce(values, targets):
+    """Dict-based reference segmented sum (ascending group-id order)."""
+    groups = {}
+    for t, v in zip(targets, values):
+        groups.setdefault(int(t), []).append(v)
+    keys = sorted(groups)
+    return keys, np.array([np.sum(groups[k], axis=0) for k in keys])
+
+
+class TestSegmentPlan:
+    def test_basic_2d(self):
+        targets = np.array([2, 0, 2, 1])
+        values = np.arange(8.0).reshape(4, 2)
+        plan = SegmentPlan(targets)
+        out = plan.reduce(values)
+        keys, ref = reference_reduce(values, targets)
+        assert plan.group_ids.tolist() == keys
+        np.testing.assert_allclose(out, ref)
+
+    def test_1d_values(self):
+        plan = SegmentPlan(np.array([1, 1, 0]))
+        out = plan.reduce(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(out, [3.0, 3.0])
+
+    def test_empty(self):
+        plan = SegmentPlan(np.array([], dtype=np.int64))
+        assert plan.n_sources == 0
+        assert plan.n_segments == 0
+        out = plan.reduce(np.zeros((0, 3)))
+        assert out.shape == (0, 3)
+
+    def test_identity_fast_path(self):
+        plan = SegmentPlan(np.array([0, 1, 2, 3]))
+        assert plan._identity
+        values = np.random.default_rng(0).random((4, 2))
+        out = plan.reduce(values)
+        np.testing.assert_array_equal(out, values)
+        out[0, 0] = -1.0  # must be a copy, not a view of the input
+        assert values[0, 0] != -1.0
+
+    def test_non_contiguous_group_ids(self):
+        plan = SegmentPlan(np.array([100, 5, 100]))
+        assert plan.group_ids.tolist() == [5, 100]
+        out = plan.reduce(np.array([[1.0], [2.0], [3.0]]))
+        np.testing.assert_allclose(out, [[2.0], [4.0]])
+
+    def test_wrong_row_count_raises(self):
+        plan = SegmentPlan(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            plan.reduce(np.zeros((3, 2)))
+
+    def test_rejects_2d_targets(self):
+        with pytest.raises(ValueError):
+            SegmentPlan(np.zeros((2, 2), dtype=np.int64))
+
+    def test_out_parameter(self):
+        plan = SegmentPlan(np.array([0, 0, 1]))
+        out = np.empty((2, 1))
+        res = plan.reduce(np.array([[1.0], [2.0], [4.0]]), out=out)
+        assert res is out
+        np.testing.assert_allclose(out, [[3.0], [4.0]])
+
+    def test_scatter_into(self):
+        plan = SegmentPlan(np.array([3, 1, 3]))
+        out = np.ones((5, 1))
+        plan.scatter_into(np.array([[1.0], [2.0], [3.0]]), out)
+        np.testing.assert_allclose(out.ravel(), [1, 3, 1, 5, 1])
+
+    def test_index_nbytes_positive(self):
+        plan = SegmentPlan(np.array([0, 0, 1, 2]))
+        assert plan.index_nbytes() > 0
+
+    @given(
+        st.lists(st.integers(0, 10), min_size=1, max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_reference(self, targets):
+        targets = np.asarray(targets)
+        rng = np.random.default_rng(42)
+        values = rng.standard_normal((len(targets), 3))
+        plan = SegmentPlan(targets)
+        out = plan.reduce(values)
+        keys, ref = reference_reduce(values, targets)
+        assert plan.group_ids.tolist() == keys
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+
+class TestChunks:
+    def test_chunks_cover_everything(self):
+        rng = np.random.default_rng(1)
+        targets = rng.integers(0, 20, size=200)
+        plan = SegmentPlan(targets)
+        values = rng.standard_normal((200, 4))
+        full = plan.reduce(values)
+        for k in (1, 2, 3, 7, 50):
+            chunks = plan.chunks(k)
+            rebuilt = np.zeros_like(full)
+            for src, seg in chunks:
+                rebuilt[seg] = plan.reduce_chunk(values, src, seg)
+            np.testing.assert_allclose(rebuilt, full, atol=1e-12)
+
+    def test_chunk_output_ranges_disjoint(self):
+        plan = SegmentPlan(np.random.default_rng(2).integers(0, 9, size=50))
+        chunks = plan.chunks(4)
+        covered = []
+        for _, seg in chunks:
+            covered.extend(range(seg.start, seg.stop))
+        assert sorted(covered) == list(range(plan.n_segments))
+        assert len(covered) == len(set(covered))
+
+    def test_more_chunks_than_segments(self):
+        plan = SegmentPlan(np.array([0, 0, 1]))
+        assert len(plan.chunks(10)) == 2
+
+    def test_empty_plan_chunks(self):
+        plan = SegmentPlan(np.array([], dtype=np.int64))
+        assert plan.chunks(4) == []
+
+    def test_invalid_chunk_count(self):
+        plan = SegmentPlan(np.array([0]))
+        with pytest.raises(ValueError):
+            plan.chunks(0)
+
+
+class TestSegmentSum:
+    def test_dense_bins_2d(self):
+        out = segment_sum(
+            np.array([[1.0, 1.0], [2.0, 0.0]]), np.array([2, 2]), 4
+        )
+        assert out.shape == (4, 2)
+        np.testing.assert_allclose(out[2], [3.0, 1.0])
+        np.testing.assert_allclose(out[[0, 1, 3]], 0.0)
+
+    def test_dense_bins_1d(self):
+        out = segment_sum(np.array([1.0, 2.0, 3.0]), np.array([0, 0, 2]), 3)
+        np.testing.assert_allclose(out, [3.0, 0.0, 3.0])

@@ -1,0 +1,67 @@
+"""Tests for repro.core.semisparse."""
+
+import numpy as np
+import pytest
+
+from repro.core.semisparse import SemiSparseTensor
+
+
+def make(modes=(1, 3), nnz=4, rank=3, sizes=(5, 6)):
+    rng = np.random.default_rng(0)
+    idx = np.column_stack([rng.integers(0, s, nnz) for s in sizes])
+    vals = rng.standard_normal((nnz, rank))
+    return SemiSparseTensor(modes, idx, vals, sizes), idx, vals
+
+
+class TestConstruction:
+    def test_basic(self):
+        t, idx, vals = make()
+        assert t.nnz == 4
+        assert t.rank == 3
+        assert t.modes == (1, 3)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SemiSparseTensor((0,), np.zeros((2, 2), np.int64),
+                             np.zeros((2, 3)), (4,))
+        with pytest.raises(ValueError):
+            SemiSparseTensor((0, 1), np.zeros((2, 2), np.int64),
+                             np.zeros((3, 3)), (4, 4))
+        with pytest.raises(ValueError):
+            SemiSparseTensor((0, 1), np.zeros((2, 2), np.int64),
+                             np.zeros((2, 3)), (4,))
+
+    def test_nbytes(self):
+        t, _, _ = make()
+        assert t.nbytes() == t.idx.nbytes + t.vals.nbytes
+
+
+class TestToMatrix:
+    def test_single_mode_scatter(self):
+        idx = np.array([[1], [3]], dtype=np.int64)
+        vals = np.array([[1.0, 2.0], [3.0, 4.0]])
+        t = SemiSparseTensor((0,), idx, vals, (5,))
+        M = t.to_matrix()
+        assert M.shape == (5, 2)
+        np.testing.assert_allclose(M[1], [1.0, 2.0])
+        np.testing.assert_allclose(M[3], [3.0, 4.0])
+        np.testing.assert_allclose(M[[0, 2, 4]], 0.0)
+
+    def test_explicit_size(self):
+        idx = np.array([[0]], dtype=np.int64)
+        t = SemiSparseTensor((2,), idx, np.ones((1, 1)), (3,))
+        assert t.to_matrix(size=10).shape == (10, 1)
+
+    def test_multi_mode_rejected(self):
+        t, _, _ = make()
+        with pytest.raises(ValueError):
+            t.to_matrix()
+
+
+class TestToDenseStack:
+    def test_roundtrip(self):
+        t, idx, vals = make(nnz=3, sizes=(4, 5))
+        dense = t.to_dense_stack()
+        assert dense.shape == (4, 5, 3)
+        for row, v in zip(idx, vals):
+            np.testing.assert_allclose(dense[tuple(row)], v)

@@ -1,0 +1,65 @@
+"""Tests for tensor structural statistics (repro.core.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coo import CooTensor
+from repro.core.stats import (mode_skew, pairwise_overlap, summary,
+                              used_slices)
+from repro.synth.skewed import skewed_random_tensor
+from repro.synth.random_tensor import uniform_random_tensor
+
+from .helpers import random_coo
+
+
+class TestModeSkew:
+    def test_uniform_low_skew(self):
+        t = uniform_random_tensor((50, 50, 50), 5000, random_state=0)
+        assert mode_skew(t, 0) < 0.6
+
+    def test_zipf_high_skew(self):
+        t = skewed_random_tensor((200, 200, 200), 8000, 1.4, random_state=1)
+        assert mode_skew(t, 0) > 0.6
+
+    def test_skew_ordering(self):
+        uni = uniform_random_tensor((100, 100), 2000, random_state=2)
+        skw = skewed_random_tensor((100, 100), 2000, 1.5, random_state=2)
+        assert mode_skew(skw, 0) > mode_skew(uni, 0)
+
+    def test_degenerate_cases(self):
+        assert mode_skew(CooTensor.empty((5, 5)), 0) == 0.0
+        single = CooTensor([[2, 3]], [1.0], (5, 5))
+        assert mode_skew(single, 0) == 0.0
+
+
+class TestUsedSlices:
+    def test_counts(self):
+        t = CooTensor([[0, 0], [0, 1], [4, 0]], [1, 1, 1], (5, 2))
+        assert used_slices(t, 0) == 2
+        assert used_slices(t, 1) == 2
+
+
+class TestPairwiseOverlap:
+    def test_keys_cover_all_pairs(self):
+        t = random_coo(np.random.default_rng(3), (4, 5, 6), 30)
+        overlaps = pairwise_overlap(t)
+        assert set(overlaps) == {(0, 1), (0, 2), (1, 2)}
+        assert all(v >= 1.0 for v in overlaps.values())
+
+    def test_repeated_pairs_increase_overlap(self):
+        idx = np.array([[0, 0, k] for k in range(10)])
+        t = CooTensor(idx, np.ones(10), (2, 2, 10))
+        overlaps = pairwise_overlap(t)
+        assert overlaps[(0, 1)] == pytest.approx(10.0)
+        assert overlaps[(2, 1)] if False else overlaps[(1, 2)] == pytest.approx(1.0)
+
+
+class TestSummary:
+    def test_structure(self):
+        t = random_coo(np.random.default_rng(4), (6, 7, 8), 50)
+        s = summary(t)
+        assert s["order"] == 3
+        assert s["nnz"] == t.nnz
+        assert len(s["modes"]) == 3
+        assert s["max_pairwise_overlap"] >= 1.0
+        assert s["modes"][1]["size"] == 7

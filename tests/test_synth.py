@@ -1,0 +1,185 @@
+"""Tests for the synthetic generators and dataset registry (repro.synth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import (DatasetSpec, dataset_names, get_spec, load_dataset,
+                         lowrank_tensor, random_kruskal,
+                         sample_unique_indices, sample_values,
+                         skewed_random_tensor, uniform_random_tensor,
+                         zipf_mode_sampler, zipf_probabilities)
+
+
+class TestSampleValues:
+    def test_uniform_in_range_and_nonzero(self):
+        v = sample_values(np.random.default_rng(0), 1000, "uniform")
+        assert (v > 0).all() and (v <= 1).all()
+
+    def test_normal_no_zeros(self):
+        v = sample_values(np.random.default_rng(1), 1000, "normal")
+        assert (v != 0).all()
+
+    def test_count_positive_integers(self):
+        v = sample_values(np.random.default_rng(2), 1000, "count")
+        assert (v >= 1).all()
+        np.testing.assert_array_equal(v, np.round(v))
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            sample_values(np.random.default_rng(3), 10, "cauchy")
+
+
+class TestSampleUniqueIndices:
+    @given(st.integers(0, 300), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_count_and_uniqueness(self, nnz, seed):
+        rng = np.random.default_rng(seed)
+        shape = (8, 9, 7)
+        idx = sample_unique_indices(shape, nnz, rng)
+        assert idx.shape == (nnz, 3)
+        if nnz:
+            assert np.unique(idx, axis=0).shape[0] == nnz
+            assert (idx >= 0).all()
+            assert (idx < np.array(shape)).all()
+
+    def test_full_density(self):
+        rng = np.random.default_rng(4)
+        idx = sample_unique_indices((3, 4), 12, rng)
+        assert np.unique(idx, axis=0).shape[0] == 12
+
+    def test_impossible_count_raises(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            sample_unique_indices((2, 2), 5, rng)
+
+
+class TestUniformRandom:
+    def test_nnz_and_bounds(self):
+        t = uniform_random_tensor((20, 30, 10), 500, random_state=0)
+        assert t.nnz == 500
+        assert t.shape == (20, 30, 10)
+
+    def test_deterministic(self):
+        a = uniform_random_tensor((10, 10), 30, random_state=42)
+        b = uniform_random_tensor((10, 10), 30, random_state=42)
+        assert a.allclose(b)
+
+
+class TestZipf:
+    def test_probabilities_normalized_decreasing(self):
+        p = zipf_probabilities(100, 1.1)
+        assert p.sum() == pytest.approx(1.0)
+        assert (np.diff(p) <= 0).all()
+
+    def test_exponent_zero_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        np.testing.assert_allclose(p, 0.1)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -1.0)
+
+    def test_sampler_respects_bounds(self):
+        rng = np.random.default_rng(6)
+        sampler = zipf_mode_sampler((10, 20), [1.0, 2.0], rng)
+        draws = sampler(1, 500)
+        assert (draws >= 0).all() and (draws < 20).all()
+
+    def test_skew_concentrates_mass(self):
+        rng = np.random.default_rng(7)
+        sampler = zipf_mode_sampler((1000,), [1.5], rng, shuffle=False)
+        draws = sampler(0, 5000)
+        # Top-10 ranks should hold far more than the uniform share.
+        top_share = (draws < 10).mean()
+        assert top_share > 0.3
+
+    def test_skewed_tensor_has_more_overlap_than_uniform(self):
+        """Skew increases index overlap: fewer distinct pair-projections."""
+        shape, nnz = (100, 100, 100), 5000
+        uni = uniform_random_tensor(shape, nnz, random_state=8)
+        skw = skewed_random_tensor(shape, nnz, 1.5, random_state=8)
+        uni_distinct = np.unique(uni.idx[:, :2], axis=0).shape[0]
+        skw_distinct = np.unique(skw.idx[:, :2], axis=0).shape[0]
+        assert skw_distinct < uni_distinct
+
+    def test_scalar_exponent_broadcasts(self):
+        t = skewed_random_tensor((10, 10, 10), 100, 1.0, random_state=9)
+        assert t.nnz == 100
+
+
+class TestLowRank:
+    def test_planted_values_match_model(self):
+        planted = lowrank_tensor((6, 5, 4), rank=2, nnz=50, random_state=10)
+        expected = planted.ktensor.values_at(planted.tensor.idx)
+        np.testing.assert_allclose(planted.tensor.vals, expected, atol=1e-12)
+
+    def test_noise_perturbs(self):
+        clean = lowrank_tensor((6, 5, 4), rank=2, nnz=50, random_state=11)
+        noisy = lowrank_tensor((6, 5, 4), rank=2, nnz=50, noise=0.5,
+                               random_state=11)
+        assert not np.allclose(clean.tensor.vals, noisy.tensor.vals)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            lowrank_tensor((4, 4), rank=1, nnz=4, noise=-0.1)
+
+    def test_nonneg_factors(self):
+        model = random_kruskal((5, 5), 3, np.random.default_rng(12))
+        for U in model.factors:
+            assert (U >= 0).all()
+
+    def test_gaussian_factors(self):
+        model = random_kruskal((50, 50), 3, np.random.default_rng(13),
+                               nonneg=False)
+        assert (model.factors[0] < 0).any()
+
+
+class TestDatasetRegistry:
+    def test_names_nonempty(self):
+        names = dataset_names()
+        assert "nell2" in names
+        assert "rand5d" in names
+        assert "skew4d" in names
+
+    def test_analogs_only_filter(self):
+        analogs = dataset_names(analogs_only=True)
+        assert "nell1" in analogs
+        assert "rand4d" not in analogs
+
+    def test_get_spec(self):
+        spec = get_spec("delicious")
+        assert isinstance(spec, DatasetSpec)
+        assert spec.order == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_spec("not-a-dataset")
+
+    def test_load_small_scale(self):
+        t = load_dataset("nips", scale=0.02)
+        spec = get_spec("nips")
+        assert t.ndim == 4
+        assert t.nnz == pytest.approx(spec.nnz * 0.02, rel=0.05)
+
+    def test_load_deterministic(self):
+        a = load_dataset("enron", scale=0.01)
+        b = load_dataset("enron", scale=0.01)
+        assert a.allclose(b)
+
+    def test_load_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_dataset("nips", scale=0.0)
+
+    def test_uniform_specs_use_uniform_generator(self):
+        t = load_dataset("rand3d", scale=0.01)
+        assert t.ndim == 3
+
+    @pytest.mark.parametrize("name", dataset_names(analogs_only=True))
+    def test_all_analogs_loadable_tiny(self, name):
+        t = load_dataset(name, scale=0.005)
+        assert t.nnz > 0
+        assert t.ndim == get_spec(name).order
