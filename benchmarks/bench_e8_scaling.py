@@ -13,20 +13,19 @@ from repro.synth.datasets import load_dataset
 @pytest.mark.parametrize("n_workers", [1, 4])
 def test_parallel_iteration(benchmark, bench_scale, bench_rank, n_workers):
     tensor = load_dataset("delicious", scale=bench_scale)
-    engine = ParallelMemoizedMttkrp(
+    with ParallelMemoizedMttkrp(
         tensor, balanced_binary(tensor.ndim),
         initialize_factors(tensor, bench_rank, random_state=0),
         n_workers=n_workers,
-    )
+    ) as engine:
 
-    def one_iteration():
-        for n in engine.mode_order:
-            engine.mttkrp(n)
-            engine.update_factor(n, engine.factors[n])
+        def one_iteration():
+            for n in engine.mode_order:
+                engine.mttkrp(n)
+                engine.update_factor(n, engine.factors[n])
 
-    one_iteration()
-    benchmark(one_iteration)
-    engine.close()
+        one_iteration()
+        benchmark(one_iteration)
 
 
 def test_e8_table(benchmark, bench_scale, bench_rank, results_dir):

@@ -90,4 +90,14 @@ result = repro.cp_als(X, rank=4, strategy=custom, n_iter_max=5, tol=0.0,
                       random_state=0)
 print(f"\ncustom strategy {custom.to_nested()} ran CP-ALS: "
       f"fit={result.fit:.4f}")
+
+# ---------------------------------------------------------------------------
+# 6. The same engine, parallel: a context manager owns the worker pool.
+# ---------------------------------------------------------------------------
+with repro.parallel.ParallelMemoizedMttkrp(
+    X, chosen, initialize_factors(X, RANK, random_state=0), n_workers=2
+) as par_engine:
+    np.testing.assert_allclose(par_engine.mttkrp(0), engine.mttkrp(0))
+    print(f"\nparallel engine ({par_engine.pool.n_workers} workers, kernel "
+          f"'{par_engine.kernel.name}') matches the sequential result")
 print("strategy explorer OK")

@@ -15,7 +15,8 @@ Quickstart::
     print(result.fit, result.strategy_name)
 """
 
-from . import algos, baselines, core, formats, io, linalg, model, parallel, perf, synth
+from . import (algos, baselines, core, formats, io, kernels, linalg, model,
+               parallel, perf, synth)
 from .core import (CooTensor, CPResult, KruskalTensor, MemoizedMttkrp,
                    MemoStrategy, balanced_binary, chain, cp_als,
                    default_candidates, from_nested, star, two_way)
@@ -29,6 +30,7 @@ __all__ = [
     "core",
     "formats",
     "io",
+    "kernels",
     "linalg",
     "model",
     "parallel",

@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..kernels import RebuildContext, WorkspaceArena, get_kernel
 from ..perf import counters as perf
 from .coo import CooTensor
 from .dtypes import VALUE_DTYPE
@@ -49,10 +50,17 @@ class MemoizedMttkrp:
         :meth:`set_factors`).
     symbolic:
         a prebuilt :class:`SymbolicTree` to reuse (skips the symbolic phase).
+    kernel:
+        kernel backend executing node rebuilds: a name from
+        :func:`repro.kernels.available_kernels`, a
+        :class:`~repro.kernels.KernelBackend` instance, or ``None`` to
+        resolve from the ``REPRO_KERNEL`` environment variable (default
+        ``"numpy"``).  Backends differ only in execution; every backend
+        produces the same values and identical perf counters.
     """
 
     def __init__(self, tensor: CooTensor, strategy, factors=None, *,
-                 symbolic: SymbolicTree | None = None):
+                 symbolic: SymbolicTree | None = None, kernel=None):
         self.tensor = tensor
         self.strategy: MemoStrategy = resolve_strategy(strategy, tensor.ndim)
         if symbolic is not None:
@@ -69,8 +77,15 @@ class MemoizedMttkrp:
         self._factors: list[np.ndarray] | None = None
         self._rank: int | None = None
         self._root_vals: np.ndarray = tensor.vals
+        self._kernel = get_kernel(kernel)
+        self._arena = WorkspaceArena()
         if factors is not None:
             self.set_factors(factors)
+
+    @property
+    def kernel(self):
+        """The kernel backend executing this engine's node rebuilds."""
+        return self._kernel
 
     @property
     def mode_order(self) -> tuple[int, ...]:
@@ -223,43 +238,51 @@ class MemoizedMttkrp:
         self._ensure_node(node.parent)
         self._values[node_id] = self._compute_node(node_id)
 
-    def _compute_node(self, node_id: int) -> np.ndarray:
+    def _rebuild_context(self, node_id: int) -> RebuildContext:
+        """Assemble the static + numeric state a kernel backend consumes."""
         node = self.strategy.nodes[node_id]
         sym = self.symbolic.nodes[node_id]
         parent = self.strategy.nodes[node.parent]  # type: ignore[index]
         parent_sym = self.symbolic.nodes[node.parent]  # type: ignore[index]
-        factors = self.factors
-        # Hadamard product of the delta-mode factor rows, one gather per
-        # contracted mode.
-        prod: np.ndarray | None = None
-        for d_mode, d_col in zip(sym.delta_modes, sym.delta_parent_cols):
-            rows = factors[d_mode][parent_sym.index[:, d_col]]
-            if prod is None:
-                prod = rows.copy()
-            else:
-                prod *= rows
-        assert prod is not None, "strategy validation guarantees non-empty delta"
         if parent.is_root:
-            prod *= self._root_vals[:, None]
+            parent_vals, root_vals = None, self._root_vals
         else:
             parent_vals = self._values[parent.id]
             assert parent_vals is not None
-            prod *= parent_vals
-        assert sym.plan is not None
-        result = sym.plan.reduce(prod)
+            root_vals = None
+        return RebuildContext(
+            symbolic=self.symbolic,
+            node_id=node_id,
+            sym=sym,
+            parent_sym=parent_sym,
+            factors=self.factors,
+            parent_vals=parent_vals,
+            root_vals=root_vals,
+            rank=self.rank,
+            arena=self._arena,
+        )
+
+    def _compute_node(self, node_id: int) -> np.ndarray:
+        ctx = self._rebuild_context(node_id)
+        result = self._kernel.rebuild(ctx)
         flops, words = contraction_work(
-            parent_sym.nnz, self.rank, len(sym.delta_modes)
+            ctx.parent_sym.nnz, self.rank, len(ctx.sym.delta_modes)
         )
         perf.record(
             flops=flops,
             words=words,
-            contractions=len(sym.delta_modes),
+            contractions=len(ctx.sym.delta_modes),
             node_builds=1,
         )
         return result
 
+    def workspace_nbytes(self) -> int:
+        """Bytes currently held by the kernel workspace arena."""
+        return self._arena.nbytes()
+
     def __repr__(self) -> str:
         return (
             f"MemoizedMttkrp(strategy={self.strategy.name!r}, "
-            f"nnz={self.tensor.nnz}, rank={self._rank})"
+            f"nnz={self.tensor.nnz}, rank={self._rank}, "
+            f"kernel={self._kernel.name!r})"
         )

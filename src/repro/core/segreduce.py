@@ -70,6 +70,26 @@ class SegmentPlan:
         self._perm = perm
         self._starts = starts
 
+    @property
+    def perm(self) -> np.ndarray:
+        """Source permutation bringing rows into segment order."""
+        return self._perm
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Segment start offsets into the permuted source order."""
+        return self._starts
+
+    @property
+    def is_identity(self) -> bool:
+        """True when every source row is its own segment, already in order."""
+        return self._identity
+
+    @property
+    def has_identity_perm(self) -> bool:
+        """True when the sources are already in segment order (no gather)."""
+        return self._perm_identity
+
     def reduce(self, values: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Sum source ``values`` (``m x R`` or ``m``) into segment rows.
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from . import rowcodes
+from ..kernels.indices import NodeKernelIndex, build_node_index
 from .coo import CooTensor
 from .segreduce import SegmentPlan
 from .strategy import MemoStrategy
@@ -68,6 +69,7 @@ class SymbolicTree:
         self.tensor = tensor
         self.strategy = strategy
         self.nodes: list[NodeSymbolic] = [None] * len(strategy.nodes)  # type: ignore[list-item]
+        self._kernel_indices: dict[int, NodeKernelIndex] = {}
         self._build()
 
     def _build(self) -> None:
@@ -100,6 +102,37 @@ class SymbolicTree:
                 delta_parent_cols=delta_cols,
                 delta_modes=node.delta,
             )
+
+    # ------------------------------------------------------------------
+    # kernel indices
+    # ------------------------------------------------------------------
+    def kernel_index(self, node_id: int) -> NodeKernelIndex | None:
+        """The node's flat gather/reduction indices (``None`` for the root).
+
+        Built on first request and cached on the tree, so every engine,
+        restart, and parallel worker sharing this symbolic tree shares one
+        set of precomputed arrays.  Like the index blocks themselves, these
+        depend only on the sparsity pattern and the strategy.
+        """
+        node = self.strategy.nodes[node_id]
+        if node.is_root:
+            return None
+        ki = self._kernel_indices.get(node_id)
+        if ki is None:
+            assert node.parent is not None
+            ki = build_node_index(self.nodes[node_id], self.nodes[node.parent])
+            self._kernel_indices[node_id] = ki
+        return ki
+
+    def build_kernel_indices(self) -> None:
+        """Eagerly build every node's kernel index (normally lazy)."""
+        for sym in self.nodes:
+            self.kernel_index(sym.node_id)
+
+    def kernel_index_nbytes(self) -> int:
+        """Bytes held by kernel indices built so far (excluded from
+        :meth:`index_nbytes`, which the cost model predicts exactly)."""
+        return sum(ki.nbytes() for ki in self._kernel_indices.values())
 
     # ------------------------------------------------------------------
     # accounting

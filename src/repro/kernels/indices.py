@@ -1,0 +1,118 @@
+"""Static per-node gather indices: the cached half of every node rebuild.
+
+A node rebuild gathers factor rows addressed by columns of the *parent's*
+index block, multiplies them with the parent values, permutes the products
+into segment order, and segment-sums.  Everything about that except the
+floating-point values is fixed by the sparsity pattern and the strategy —
+yet the baseline engine re-derives it on every rebuild: the column slice
+``parent.index[:, d_col]`` is a strided read, and the segment permutation is
+applied as a separate ``(nnz, R)`` fancy-gather pass over the products.
+
+:class:`NodeKernelIndex` precomputes, once per node:
+
+* one **flat, contiguous, pre-permuted** gather array per delta mode
+  (``parent.index[perm, d_col]``), so the factor gather lands directly in
+  segment order and the per-rebuild permutation pass disappears entirely;
+* the parent-row permutation (``None`` when the plan's order is already
+  sorted) for gathering parent/root values;
+* the ``reduceat`` segment starts.
+
+These arrays are cached on the :class:`~repro.core.symbolic.SymbolicTree`,
+so engines, restarts, and parallel workers sharing a tree share them too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NodeKernelIndex:
+    """Precomputed flat gather/reduction indices for one non-root node."""
+
+    __slots__ = (
+        "node_id", "delta_modes", "n_sources", "n_segments", "gather",
+        "perm", "starts", "identity", "_blocks", "_stacked", "_perm_full",
+    )
+
+    def __init__(self, node_id: int, delta_modes: tuple[int, ...],
+                 gather: tuple[np.ndarray, ...], perm: np.ndarray | None,
+                 starts: np.ndarray, n_sources: int, identity: bool):
+        self.node_id = node_id
+        self.delta_modes = delta_modes
+        self.gather = gather
+        self.perm = perm
+        self.starts = starts
+        self.n_sources = int(n_sources)
+        self.n_segments = int(starts.shape[0])
+        self.identity = bool(identity)
+        self._blocks: dict[int, list] = {}
+        self._stacked: np.ndarray | None = None
+        self._perm_full: np.ndarray | None = None
+
+    def blocks_for(self, block_rows: int) -> list:
+        """Cached segment-aligned block list for one block size."""
+        blocks = self._blocks.get(block_rows)
+        if blocks is None:
+            from .blocking import segment_blocks
+
+            blocks = list(segment_blocks(self.starts, self.n_sources, block_rows))
+            self._blocks[block_rows] = blocks
+        return blocks
+
+    def stacked_gather(self) -> np.ndarray:
+        """All gather arrays as one ``(n_delta, n_sources)`` matrix (for
+        fused backends that want a single typed argument)."""
+        if self._stacked is None:
+            self._stacked = np.ascontiguousarray(np.vstack(self.gather))
+        return self._stacked
+
+    def perm_or_identity(self) -> np.ndarray:
+        """The permutation as a concrete array (``arange`` when identity)."""
+        if self.perm is not None:
+            return self.perm
+        if self._perm_full is None:
+            self._perm_full = np.arange(self.n_sources, dtype=np.intp)
+        return self._perm_full
+
+    def nbytes(self) -> int:
+        """Bytes held by the cached index structures."""
+        total = self.starts.nbytes + sum(g.nbytes for g in self.gather)
+        if self.perm is not None:
+            total += self.perm.nbytes
+        if self._stacked is not None:
+            total += self._stacked.nbytes
+        return int(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NodeKernelIndex(node={self.node_id}, "
+            f"deltas={self.delta_modes}, sources={self.n_sources}, "
+            f"segments={self.n_segments}, identity={self.identity})"
+        )
+
+
+def build_node_index(sym, parent_sym) -> NodeKernelIndex:
+    """Build the kernel index for ``sym`` (a non-root
+    :class:`~repro.core.symbolic.NodeSymbolic`) from its parent's block."""
+    plan = sym.plan
+    assert plan is not None, "root nodes have no kernel index"
+    perm: np.ndarray | None
+    if plan.has_identity_perm:
+        perm = None
+    else:
+        perm = np.ascontiguousarray(plan.perm, dtype=np.intp)
+    gather = []
+    for d_col in sym.delta_parent_cols:
+        col = parent_sym.index[:, d_col]
+        flat = col if perm is None else col[perm]
+        gather.append(np.ascontiguousarray(flat, dtype=np.intp))
+    starts = np.ascontiguousarray(plan.starts, dtype=np.intp)
+    return NodeKernelIndex(
+        node_id=sym.node_id,
+        delta_modes=sym.delta_modes,
+        gather=tuple(gather),
+        perm=perm,
+        starts=starts,
+        n_sources=plan.n_sources,
+        identity=plan.is_identity,
+    )

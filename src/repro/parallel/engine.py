@@ -5,6 +5,12 @@ split along *segment boundaries* of its reduction plan, so every worker
 produces a disjoint range of the node's output rows: gathers, Hadamard
 products, and the segmented sums all run concurrently with no write
 conflicts and no reduction pass.
+
+Workers execute through the kernel backend's ``rebuild_chunk`` — the same
+precomputed flat gather indices and per-thread workspace buffers as the
+sequential engine, so no per-chunk index arithmetic happens on the hot
+path.  Backends without chunk support (e.g. ``numba``, which parallelizes
+inside the node already) fall back to the numpy chunk kernel.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import numpy as np
 from ..core.coo import CooTensor
 from ..core.dtypes import VALUE_DTYPE
 from ..core.engine import MemoizedMttkrp, contraction_work
+from ..kernels import get_kernel
 from ..perf import counters as perf
 from .pool import WorkerPool
 
@@ -23,7 +30,8 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
 
     Single-worker pools degrade gracefully to near-sequential behaviour
     (one chunk per node), so speedup measurements can use the same class at
-    every worker count.
+    every worker count.  Usable as a context manager; pools created by the
+    engine are closed on exit.
     """
 
     name = "parallel-memoized"
@@ -34,22 +42,30 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
 
     def __init__(self, tensor: CooTensor, strategy, factors=None, *,
                  n_workers: int | None = None, pool: WorkerPool | None = None,
-                 symbolic=None, min_chunk_rows: int | None = None):
+                 symbolic=None, min_chunk_rows: int | None = None,
+                 kernel=None):
         self._own_pool = pool is None
         self.pool = pool or WorkerPool(n_workers)
         if min_chunk_rows is not None:
             self.min_chunk_rows = int(min_chunk_rows)
-        super().__init__(tensor, strategy, factors, symbolic=symbolic)
+        super().__init__(tensor, strategy, factors, symbolic=symbolic,
+                         kernel=kernel)
+        self._chunk_kernel = (
+            self._kernel if self._kernel.supports_chunks else get_kernel("numpy")
+        )
 
     def close(self) -> None:
         if self._own_pool:
             self.pool.close()
 
+    def __enter__(self) -> "ParallelMemoizedMttkrp":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _compute_node(self, node_id: int) -> np.ndarray:
-        node = self.strategy.nodes[node_id]
         sym = self.symbolic.nodes[node_id]
-        parent = self.strategy.nodes[node.parent]  # type: ignore[index]
-        parent_sym = self.symbolic.nodes[node.parent]  # type: ignore[index]
         plan = sym.plan
         assert plan is not None
         n_chunks = min(
@@ -60,32 +76,15 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
         if len(chunks) <= 1:
             return super()._compute_node(node_id)
 
-        factors = self.factors
-        parent_vals = None if parent.is_root else self._values[parent.id]
+        ctx = self._rebuild_context(node_id)
+        kernel = self._chunk_kernel
         out = np.empty((sym.nnz, self.rank), dtype=VALUE_DTYPE)
-
-        def work(source_slice: slice, segment_slice: slice) -> None:
-            rows = plan.sorted_sources(source_slice)
-            prod: np.ndarray | None = None
-            for d_mode, d_col in zip(sym.delta_modes, sym.delta_parent_cols):
-                gathered = factors[d_mode][parent_sym.index[rows, d_col]]
-                if prod is None:
-                    prod = gathered.copy()
-                else:
-                    prod *= gathered
-            assert prod is not None
-            if parent_vals is None:
-                prod *= self._root_vals[rows, None]
-            else:
-                prod *= parent_vals[rows]
-            starts = plan.local_starts(source_slice, segment_slice)
-            out[segment_slice] = np.add.reduceat(prod, starts, axis=0)
-
         self.pool.run([
-            (lambda s=s, g=g: work(s, g)) for s, g in chunks
+            (lambda s=s, g=g: kernel.rebuild_chunk(ctx, s, g, out))
+            for s, g in chunks
         ])
         flops, words = contraction_work(
-            parent_sym.nnz, self.rank, len(sym.delta_modes)
+            ctx.parent_sym.nnz, self.rank, len(sym.delta_modes)
         )
         perf.record(
             flops=flops, words=words,

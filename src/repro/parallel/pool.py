@@ -87,6 +87,12 @@ class ParallelCooMttkrp(MttkrpBackend):
         if self._own_pool:
             self.pool.close()
 
+    def __enter__(self) -> "ParallelCooMttkrp":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _partial(self, lo: int, hi: int, mode: int) -> np.ndarray:
         tensor, factors = self.tensor, self.factors
         idx = tensor.idx[lo:hi]

@@ -46,6 +46,12 @@ class SliceParallelMttkrp(MttkrpBackend):
         if self._own_pool:
             self.pool.close()
 
+    def __enter__(self) -> "SliceParallelMttkrp":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _rows_for_mode(self, mode: int) -> list[np.ndarray]:
         if mode not in self._worker_rows:
             k = self.pool.n_workers
