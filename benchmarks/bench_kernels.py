@@ -210,6 +210,8 @@ def run_acceptance_sweep(repeats: int = 3) -> dict:
 
 
 def main() -> None:
+    from repro.obs.buildinfo import artifact_envelope
+
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     print(f"kernel backend sweep: shape={ACCEPT_SHAPE} nnz~{ACCEPT_NNZ} "
@@ -217,7 +219,7 @@ def main() -> None:
     report = run_acceptance_sweep()
     base = os.path.join(results_dir, "BENCH_kernels")
     with open(base + ".json", "w") as fh:
-        json.dump(report, fh, indent=2)
+        json.dump(artifact_envelope("BENCH_kernels", report), fh, indent=2)
         fh.write("\n")
     lines = [
         f"{'backend':10s} {'block':>6s} {'ms/iter':>9s} {'speedup':>8s}",

@@ -1,0 +1,148 @@
+"""Tracer overhead: the observability layer must be free when off.
+
+Times one full memoized CP-ALS iteration on the acceptance workload
+(order-4, >=1M nnz, R=16 — the same tensor as ``bench_kernels.py``, so the
+disabled numbers are directly comparable to ``BENCH_kernels.json``) under
+three configurations:
+
+* ``disabled`` — tracing off, the shipped default (guards short-circuit);
+* ``enabled``  — spans recorded for every iteration/MTTKRP/rebuild/kernel;
+* ``enabled+watchdog`` — spans plus per-iteration counter collection and
+  the model-drift comparison, i.e. everything ``repro trace`` turns on.
+
+Writes ``benchmarks/results/BENCH_obs_overhead.json`` (shared
+``repro-bench/v1`` envelope) with per-config ms/iteration and overhead
+percentages relative to ``disabled``::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+
+The acceptance bar: enabled overhead < 3%, disabled within timer noise of
+an uninstrumented build (the guard is one module-bool check per call site).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.engine import MemoizedMttkrp
+from repro.core.strategy import balanced_binary
+from repro.model.cost import cost_from_symbolic
+from repro.obs import trace as obs_trace
+from repro.obs.buildinfo import artifact_envelope
+from repro.obs.metrics import registry
+from repro.obs.watchdog import DriftWatchdog
+from repro.perf import counters as perf
+
+ACCEPT_SHAPE = (800,) * 4
+ACCEPT_NNZ = 1_200_000
+ACCEPT_RANK = 16
+REPEATS = 5
+
+
+def _als_iteration(engine: MemoizedMttkrp) -> None:
+    for n in engine.mode_order:
+        engine.mttkrp(n)
+        engine.update_factor(n, engine.factors[n])
+
+
+def _best_iteration_seconds(engine, repeats: int, *,
+                            watchdog: DriftWatchdog | None = None) -> float:
+    _als_iteration(engine)  # warm: caches, arena, (when tracing) span path
+    best = float("inf")
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        if watchdog is not None:
+            with perf.counting() as c:
+                _als_iteration(engine)
+            seconds = time.perf_counter() - t0
+            watchdog.observe(i, c, seconds)
+        else:
+            _als_iteration(engine)
+            seconds = time.perf_counter() - t0
+        best = min(best, seconds)
+    return best
+
+
+def run_overhead_bench(repeats: int = REPEATS) -> dict:
+    from repro.synth.skewed import skewed_random_tensor
+
+    tensor = skewed_random_tensor(ACCEPT_SHAPE, ACCEPT_NNZ, 1.1,
+                                  random_state=0)
+    rng = np.random.default_rng(42)
+    factors = [rng.standard_normal((d, ACCEPT_RANK)) for d in tensor.shape]
+    engine = MemoizedMttkrp(
+        tensor, balanced_binary(4), [f.copy() for f in factors]
+    )
+
+    obs_trace.disable()
+    disabled = _best_iteration_seconds(engine, repeats)
+
+    obs_trace.enable(clear=True)
+    enabled = _best_iteration_seconds(engine, repeats)
+
+    obs_trace.get_tracer().clear()
+    registry.reset()
+    watchdog = DriftWatchdog(
+        cost_from_symbolic(engine.symbolic, ACCEPT_RANK), warn=False
+    )
+    with_watchdog = _best_iteration_seconds(
+        engine, repeats, watchdog=watchdog
+    )
+    span_count = len(obs_trace.get_tracer())
+    obs_trace.disable()
+    obs_trace.get_tracer().clear()
+
+    def pct(seconds: float) -> float:
+        return (seconds / disabled - 1.0) * 100.0
+
+    return {
+        "workload": {
+            "shape": list(ACCEPT_SHAPE),
+            "nnz": int(tensor.nnz),
+            "rank": ACCEPT_RANK,
+            "strategy": "balanced_binary",
+            "skew": 1.1,
+            "repeats": repeats,
+        },
+        "runs": {
+            "disabled": {"seconds_per_iteration": disabled,
+                         "overhead_pct": 0.0},
+            "enabled": {"seconds_per_iteration": enabled,
+                        "overhead_pct": pct(enabled)},
+            "enabled_watchdog": {
+                "seconds_per_iteration": with_watchdog,
+                "overhead_pct": pct(with_watchdog),
+            },
+        },
+        "spans_per_measured_block": span_count,
+        "drift_fired": watchdog.n_fired(),
+    }
+
+
+def main() -> None:
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    print(f"tracer overhead: shape={ACCEPT_SHAPE} nnz~{ACCEPT_NNZ} "
+          f"rank={ACCEPT_RANK}")
+    report = run_overhead_bench()
+    base = os.path.join(results_dir, "BENCH_obs_overhead")
+    with open(base + ".json", "w") as fh:
+        json.dump(artifact_envelope("BENCH_obs_overhead", report), fh,
+                  indent=2)
+        fh.write("\n")
+    lines = [f"{'config':<18s} {'ms/iter':>9s} {'overhead':>9s}"]
+    for name, run in report["runs"].items():
+        lines.append(
+            f"{name:<18s} {run['seconds_per_iteration'] * 1e3:9.1f} "
+            f"{run['overhead_pct']:8.2f}%"
+        )
+    with open(base + ".txt", "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    print("\n".join(lines))
+    print(f"wrote {base}.json")
+
+
+if __name__ == "__main__":
+    main()

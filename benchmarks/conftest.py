@@ -42,10 +42,23 @@ def results_dir():
 
 
 def save_result(result, results_dir):
-    """Persist an ExperimentResult's table + JSON under results/."""
+    """Persist an ExperimentResult's table + JSON under results/.
+
+    JSON artifacts are wrapped in the shared ``repro-bench/v1`` envelope
+    (timestamp, git rev, kernel knobs) so results are comparable across
+    commits; see ``repro.obs.buildinfo.artifact_envelope``.
+    """
+    import json
+
+    from repro.obs.buildinfo import artifact_envelope
+
     base = os.path.join(results_dir, result.exp_id.lower())
     with open(base + ".txt", "w") as fh:
         fh.write(result.table() + "\n")
+    envelope = artifact_envelope(
+        result.exp_id, json.loads(result.to_json()), scale=SCALE, rank=RANK
+    )
     with open(base + ".json", "w") as fh:
-        fh.write(result.to_json() + "\n")
+        json.dump(envelope, fh, indent=2)
+        fh.write("\n")
     return base

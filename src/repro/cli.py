@@ -7,17 +7,29 @@ Usage::
     python -m repro complete ratings.tns --rank 8 --test-fraction 0.2
     python -m repro info delicious --scale 0.2
     python -m repro datasets
+    python -m repro trace --trace-dir out/ decompose data.tns --rank 16
+    python -m repro report out/trace.jsonl
 
 Tensor inputs are ``.tns``/``.tns.gz`` (FROSTT), ``.npz`` (this library's
 cache format), or a registry dataset name (generated on the fly; use
 ``--scale``).
+
+``repro trace <command> ...`` runs any other subcommand with the span
+tracer and metrics registry enabled and writes ``trace.chrome.json``
+(Chrome ``trace_event`` format — load in ``chrome://tracing`` or
+Perfetto), ``trace.jsonl``, ``metrics.json``, and a text summary;
+``repro report`` pretty-prints a saved JSONL trace.  ``--log-level``
+controls the ``repro.*`` loggers (the drift watchdog logs there), and
+``--version`` prints build info (version, git revision, toolchain).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
+import time
 
 import numpy as np
 
@@ -168,10 +180,108 @@ def cmd_complete(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    from .obs import trace as obs_trace
+    from .obs.buildinfo import build_info
+    from .obs.export import (kind_table, tree_summary, write_chrome_trace,
+                             write_jsonl)
+    from .obs.metrics import registry
+    from .perf import counters as perf_counters
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest.pop(0)
+    if not rest:
+        raise ValueError(
+            "trace: missing command to run, e.g. "
+            "'repro trace decompose data.tns --rank 16'"
+        )
+    if rest[0] in ("trace", "report"):
+        raise ValueError(f"trace: cannot trace the {rest[0]!r} command")
+    inner = build_parser().parse_args(rest)
+    os.makedirs(args.trace_dir, exist_ok=True)
+
+    was_enabled = obs_trace.enabled()
+    obs_trace.enable(clear=True)
+    registry.reset()
+    t0 = time.perf_counter()
+    try:
+        with perf_counters.counting(registry.counters):
+            rc = inner.fn(inner)
+    finally:
+        if not was_enabled:
+            obs_trace.disable()
+    elapsed = time.perf_counter() - t0
+
+    spans = obs_trace.get_tracer().finished()
+    chrome_path = os.path.join(args.trace_dir, "trace.chrome.json")
+    jsonl_path = os.path.join(args.trace_dir, "trace.jsonl")
+    summary_path = os.path.join(args.trace_dir, "trace_summary.txt")
+    metrics_path = os.path.join(args.trace_dir, "metrics.json")
+    write_chrome_trace(chrome_path, spans)
+    write_jsonl(jsonl_path, spans)
+    with open(summary_path, "w") as fh:
+        fh.write(tree_summary(spans) + "\n\n" + kind_table(spans) + "\n")
+    import json as _json
+
+    with open(metrics_path, "w") as fh:
+        _json.dump(
+            {"build": build_info(), "wall_seconds": elapsed,
+             "metrics": registry.snapshot()},
+            fh, indent=2,
+        )
+        fh.write("\n")
+
+    print(f"\n-- traced {len(spans)} spans in {elapsed:.2f}s")
+    print(kind_table(spans))
+    print(f"\nwrote {chrome_path} (open in chrome://tracing or "
+          f"https://ui.perfetto.dev), {jsonl_path}, {metrics_path}")
+    return rc
+
+
+def cmd_report(args) -> int:
+    from .obs.export import kind_table, read_jsonl, tree_summary
+
+    path = args.trace
+    if os.path.isdir(path):
+        path = os.path.join(path, "trace.jsonl")
+    spans = read_jsonl(path)
+    print(f"{len(spans)} spans from {path}\n")
+    print(kind_table(spans))
+    print()
+    print(tree_summary(spans, max_children=args.max_children))
+    metrics_path = os.path.join(os.path.dirname(path) or ".", "metrics.json")
+    if os.path.exists(metrics_path):
+        import json as _json
+
+        with open(metrics_path) as fh:
+            snap = _json.load(fh)
+        counters = snap.get("metrics", {}).get("counters", {})
+        gauges = snap.get("metrics", {}).get("gauges", {})
+        if counters:
+            print("\ncounters: " + ", ".join(
+                f"{k}={v:,}" for k, v in counters.items()
+            ))
+        if gauges:
+            print("gauges  : " + ", ".join(
+                f"{k}={v:.3f}" for k, v in sorted(gauges.items())
+            ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from .obs.buildinfo import version_string
+
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--version", action="version",
+                        version=version_string())
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error", "critical"],
+        help="configure the 'repro' loggers (default: leave logging as-is)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -221,11 +331,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None, help="write factors to .npz")
     p.set_defaults(fn=cmd_complete)
 
+    p = sub.add_parser(
+        "trace", help="run another subcommand with tracing enabled",
+        description="Run any other repro subcommand with the span tracer "
+        "and metrics registry enabled, then export the trace (Chrome "
+        "trace_event JSON + JSONL + text summary + metrics snapshot).",
+    )
+    p.add_argument("--trace-dir", default="repro-trace",
+                   help="directory for trace artifacts (default: "
+                   "./repro-trace)")
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="the command to trace, e.g. 'decompose data.tns "
+                   "--rank 16'")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("report", help="summarize a saved JSONL trace")
+    p.add_argument("trace", help="trace.jsonl file (or the trace directory)")
+    p.add_argument("--max-children", type=int, default=12,
+                   help="sibling spans shown per node before eliding")
+    p.set_defaults(fn=cmd_report)
+
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+        )
+        logging.getLogger("repro").setLevel(
+            getattr(logging, args.log_level.upper())
+        )
     try:
         return args.fn(args)
     except BrokenPipeError:

@@ -19,6 +19,8 @@ from ..linalg.gram import GramCache
 from ..linalg.innerprod import innerprod_from_mttkrp
 from ..linalg.norms import normalize_columns
 from ..linalg.solve import solve_normal_equations
+from ..obs import trace as _obs
+from ..perf import counters as perf
 from .coo import CooTensor
 from .dtypes import VALUE_DTYPE
 from .engine import MemoizedMttkrp
@@ -41,6 +43,9 @@ class CPResult:
         ``strategy='auto'`` was requested, else None.
     timings: wall-clock breakdown: ``setup`` (symbolic phase + planning),
         ``per_iteration`` (mean seconds), ``total``.
+    drift_readings: per-iteration
+        :class:`~repro.obs.watchdog.DriftReading` list when a model-drift
+        watchdog was active (tracing enabled or one passed in), else None.
     """
 
     ktensor: KruskalTensor
@@ -50,6 +55,7 @@ class CPResult:
     strategy_name: str
     planner_report: object | None = None
     timings: dict = field(default_factory=dict)
+    drift_readings: list | None = None
 
     @property
     def fit(self) -> float:
@@ -115,6 +121,7 @@ def cp_als(
     memory_budget: int | None = None,
     engine_factory: Callable[[CooTensor], object] | None = None,
     callback: Callable[[int, float, KruskalTensor], None] | None = None,
+    watchdog=None,
 ) -> CPResult:
     """Fit a rank-``R`` CP decomposition with alternating least squares.
 
@@ -139,6 +146,13 @@ def cp_als(
         escape hatch for benchmarking: a callable returning an MTTKRP
         backend for the tensor.
     callback: invoked as ``callback(iteration, fit, model)`` per iteration.
+    watchdog:
+        a :class:`~repro.obs.watchdog.DriftWatchdog` comparing the model's
+        predicted per-iteration cost against measured counters and wall
+        time.  When None and tracing is enabled
+        (:func:`repro.obs.enabled`), one is built automatically from the
+        engine's symbolic tree; when tracing is off and none is passed,
+        the watchdog machinery is skipped entirely.
     """
     check_positive_int(rank, "rank")
     check_positive_int(n_iter_max, "n_iter_max")
@@ -168,6 +182,12 @@ def cp_als(
     engine.set_factors(factors)
     setup_time = time.perf_counter() - t0
 
+    if watchdog is None and _obs.enabled() and isinstance(engine, MemoizedMttkrp):
+        from ..model.cost import cost_from_symbolic
+        from ..obs.watchdog import DriftWatchdog
+
+        watchdog = DriftWatchdog(cost_from_symbolic(engine.symbolic, rank))
+
     mode_order = tuple(engine.mode_order)
     grams = GramCache(engine.factors)
     weights = np.ones(rank, dtype=VALUE_DTYPE)
@@ -175,25 +195,47 @@ def cp_als(
     converged = False
     iter_times: list[float] = []
 
-    for iteration in range(n_iter_max):
-        it0 = time.perf_counter()
+    def run_modes(iteration: int) -> np.ndarray:
+        nonlocal weights
         M_last: np.ndarray | None = None
         for n in mode_order:
             M = engine.mttkrp(n)
-            H = grams.combined(skip=n)
-            U = solve_normal_equations(M, H)
-            # First iteration: 2-norm normalization settles scale; later
-            # iterations use max-norm so weights track convergence smoothly
-            # (the Tensor Toolbox convention).
-            U, norms = normalize_columns(U, order=2 if iteration == 0 else "max")
-            norms = np.where(norms > 0, norms, 1.0)
-            weights = norms
-            engine.update_factor(n, U)
-            grams.update(n, U)
+            with _obs.span("factor_solve", mode=n):
+                H = grams.combined(skip=n)
+                U = solve_normal_equations(M, H)
+                # First iteration: 2-norm normalization settles scale;
+                # later iterations use max-norm so weights track
+                # convergence smoothly (the Tensor Toolbox convention).
+                U, norms = normalize_columns(
+                    U, order=2 if iteration == 0 else "max"
+                )
+                norms = np.where(norms > 0, norms, 1.0)
+                weights = norms
+                engine.update_factor(n, U)
+                grams.update(n, U)
             M_last = M
-        iter_times.append(time.perf_counter() - it0)
-
         assert M_last is not None
+        return M_last
+
+    for iteration in range(n_iter_max):
+        it0 = time.perf_counter()
+        with _obs.span("als_iteration", iteration=iteration):
+            if watchdog is not None:
+                # Count this iteration's work in a private sink, then fold
+                # it into any caller-installed counters so their totals are
+                # unchanged by the watchdog being active.
+                outer = perf.active_counters()
+                with perf.counting() as it_counters:
+                    M_last = run_modes(iteration)
+                if outer is not None:
+                    outer.add(it_counters)
+            else:
+                M_last = run_modes(iteration)
+        it_seconds = time.perf_counter() - it0
+        iter_times.append(it_seconds)
+        if watchdog is not None:
+            watchdog.observe(iteration, it_counters, it_seconds)
+
         last = mode_order[-1]
         fit = _compute_fit(
             norm_x, weights, engine.factors, grams, M_last, last
@@ -218,6 +260,7 @@ def cp_als(
             "per_iteration": float(np.mean(iter_times)) if iter_times else 0.0,
             "total": setup_time + float(np.sum(iter_times)),
         },
+        drift_readings=watchdog.readings if watchdog is not None else None,
     )
 
 

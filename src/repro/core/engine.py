@@ -14,6 +14,7 @@ from typing import Sequence
 import numpy as np
 
 from ..kernels import RebuildContext, WorkspaceArena, get_kernel
+from ..obs import trace as _trace
 from ..perf import counters as perf
 from .coo import CooTensor
 from .dtypes import VALUE_DTYPE
@@ -72,7 +73,9 @@ class MemoizedMttkrp:
                 raise ValueError("prebuilt symbolic tree is for a different tensor")
             self.symbolic = symbolic
         else:
-            self.symbolic = SymbolicTree(tensor, self.strategy)
+            with _trace.span("symbolic_build", strategy=self.strategy.name,
+                             nnz=tensor.nnz):
+                self.symbolic = SymbolicTree(tensor, self.strategy)
         self._values: list[np.ndarray | None] = [None] * len(self.strategy.nodes)
         self._factors: list[np.ndarray] | None = None
         self._rank: int | None = None
@@ -161,17 +164,20 @@ class MemoizedMttkrp:
         matrices by the tree height.
         """
         mode = check_mode(mode, self.tensor.ndim)
-        for nid in self.strategy.invalidated_by(mode):
-            self._values[nid] = None
-        leaf_id = self.strategy.leaf_id(mode)
-        self._ensure_node(leaf_id)
-        sym = self.symbolic.nodes[leaf_id]
-        vals = self._values[leaf_id]
-        assert vals is not None
-        out = np.zeros((self.tensor.shape[mode], self.rank), dtype=VALUE_DTYPE)
-        out[sym.index[:, 0]] = vals
-        perf.record(mttkrps=1, words=vals.size)
-        return out
+        with _trace.span("mttkrp", mode=mode):
+            for nid in self.strategy.invalidated_by(mode):
+                self._values[nid] = None
+            leaf_id = self.strategy.leaf_id(mode)
+            self._ensure_node(leaf_id)
+            sym = self.symbolic.nodes[leaf_id]
+            vals = self._values[leaf_id]
+            assert vals is not None
+            out = np.zeros(
+                (self.tensor.shape[mode], self.rank), dtype=VALUE_DTYPE
+            )
+            out[sym.index[:, 0]] = vals
+            perf.record(mttkrps=1, words=vals.size)
+            return out
 
     def mttkrp_all(self) -> list[np.ndarray]:
         """All N MTTKRPs under the *current* factors, one tree sweep.
@@ -185,17 +191,18 @@ class MemoizedMttkrp:
         """
         outs: list[np.ndarray] = [None] * self.tensor.ndim  # type: ignore[list-item]
         for mode in self.strategy.mode_order:
-            leaf_id = self.strategy.leaf_id(mode)
-            self._ensure_node(leaf_id)
-            sym = self.symbolic.nodes[leaf_id]
-            vals = self._values[leaf_id]
-            assert vals is not None
-            out = np.zeros(
-                (self.tensor.shape[mode], self.rank), dtype=VALUE_DTYPE
-            )
-            out[sym.index[:, 0]] = vals
-            perf.record(mttkrps=1, words=vals.size)
-            outs[mode] = out
+            with _trace.span("mttkrp", mode=mode, sweep=True):
+                leaf_id = self.strategy.leaf_id(mode)
+                self._ensure_node(leaf_id)
+                sym = self.symbolic.nodes[leaf_id]
+                vals = self._values[leaf_id]
+                assert vals is not None
+                out = np.zeros(
+                    (self.tensor.shape[mode], self.rank), dtype=VALUE_DTYPE
+                )
+                out[sym.index[:, 0]] = vals
+                perf.record(mttkrps=1, words=vals.size)
+                outs[mode] = out
         return outs
 
     def node_tensor(self, node_id: int) -> SemiSparseTensor:
@@ -264,7 +271,12 @@ class MemoizedMttkrp:
 
     def _compute_node(self, node_id: int) -> np.ndarray:
         ctx = self._rebuild_context(node_id)
-        result = self._kernel.rebuild(ctx)
+        if _trace.enabled():
+            with _trace.span("node_rebuild", node=node_id,
+                             nnz=ctx.sym.nnz, parent_nnz=ctx.parent_sym.nnz):
+                result = self._kernel.traced_rebuild(ctx)
+        else:
+            result = self._kernel.rebuild(ctx)
         flops, words = contraction_work(
             ctx.parent_sym.nnz, self.rank, len(ctx.sym.delta_modes)
         )

@@ -14,6 +14,7 @@ import os
 import warnings
 from typing import Callable
 
+from ..obs.metrics import registry as _metrics
 from .backends import KernelBackend
 
 DEFAULT_KERNEL = "numpy"
@@ -65,6 +66,7 @@ def get_kernel(spec: "str | KernelBackend | None" = None) -> KernelBackend:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            _metrics.incr("kernel.fallbacks")
             name = DEFAULT_KERNEL
         else:
             raise ValueError(
@@ -75,4 +77,5 @@ def get_kernel(spec: "str | KernelBackend | None" = None) -> KernelBackend:
     if inst is None:
         inst = _FACTORIES[name]()
         _INSTANCES[name] = inst
+    _metrics.incr(f"kernel.resolved.{name}")
     return inst

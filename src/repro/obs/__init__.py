@@ -1,0 +1,56 @@
+"""Observability: span tracing, metrics export, and model-drift detection.
+
+Zero-dependency instrumentation for the engine/kernel/parallel stack:
+
+* :mod:`repro.obs.trace` — span-based tracer with contextvar propagation
+  (worker-thread spans nest under their engine span); off by default,
+  no-op-cheap when off, enabled via :func:`enable` or ``REPRO_TRACE=1``.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (load in
+  ``chrome://tracing`` / Perfetto), JSONL, and human-readable summaries.
+* :mod:`repro.obs.metrics` — per-span-kind wall-time histograms, the
+  engine's operation counters, and gauges, snapshotted by :func:`metrics`.
+* :mod:`repro.obs.watchdog` — per-iteration comparison of model-predicted
+  cost against measured counters/time, warning on drift.  (Imported
+  lazily: it depends on :mod:`repro.model`, which depends on the engine
+  this package instruments.)
+
+Quickstart::
+
+    from repro import obs
+
+    with obs.trace.tracing():
+        repro.cp_als(X, rank=16, strategy="auto")
+    obs.export.write_chrome_trace("trace.json")
+    print(obs.export.tree_summary())
+    print(obs.metrics()["spans"]["mttkrp"])
+
+or, from the shell, ``repro trace decompose data.tns --rank 16``.
+"""
+
+from __future__ import annotations
+
+from . import export, trace
+from .buildinfo import build_info, git_revision, version_string
+from .metrics import MetricsRegistry, metrics, registry
+from .trace import (SpanRecord, Tracer, disable, enable, enabled,
+                    get_tracer, span, tracing)
+
+__all__ = [
+    "export", "trace", "watchdog",
+    "SpanRecord", "Tracer", "span", "enabled", "enable", "disable",
+    "tracing", "get_tracer",
+    "MetricsRegistry", "metrics", "registry",
+    "build_info", "git_revision", "version_string",
+    "ModelDriftWarning", "DriftWatchdog",
+]
+
+
+def __getattr__(name):
+    # Lazy: repro.obs.watchdog -> repro.model -> repro.core.engine -> here.
+    if name in ("watchdog", "DriftWatchdog", "ModelDriftWarning", "DriftReading"):
+        from . import watchdog
+
+        if name == "watchdog":
+            return watchdog
+        return getattr(watchdog, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

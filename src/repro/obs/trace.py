@@ -1,0 +1,250 @@
+"""Span-based tracer: nested wall-time attribution for the whole stack.
+
+A *span* is a named, timed region (an ALS iteration, one mode's MTTKRP, a
+node rebuild, a kernel pass, a pool task).  Spans nest: the tracer keeps the
+current span in a :mod:`contextvars` context variable, so a span opened
+inside another becomes its child — including across threads, because
+:class:`~repro.parallel.pool.WorkerPool` runs each task in a copy of the
+submitting thread's context.  The result is a tree that attributes every
+microsecond of an engine run to the phase that spent it.
+
+Tracing is **off by default** and must be no-op-cheap when off: ``span()``
+returns a shared null context manager without allocating, and hot call
+sites additionally guard on :func:`enabled`.  Enable with
+:func:`enable` / the :func:`tracing` context manager, or set the
+``REPRO_TRACE`` environment variable before import::
+
+    REPRO_TRACE=1 python -m repro decompose nips --scale 0.05
+
+Finished spans accumulate in a process-global :class:`Tracer`; export them
+with :mod:`repro.obs.export` (Chrome ``trace_event`` JSON, JSONL, or a
+human-readable tree).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+from .metrics import registry as _metrics
+
+__all__ = [
+    "SpanRecord", "Tracer", "span", "enabled", "enable", "disable",
+    "tracing", "get_tracer", "current_span_id",
+]
+
+
+class SpanRecord:
+    """One finished (or in-flight) span.
+
+    Times are seconds relative to the owning tracer's epoch, taken from
+    ``time.perf_counter_ns``; ``tid`` is the OS thread identifier of the
+    thread that opened the span.
+    """
+
+    __slots__ = ("id", "parent", "kind", "t0", "t1", "tid", "attrs")
+
+    def __init__(self, id: int, parent: int | None, kind: str, t0: float,
+                 tid: int, attrs: dict, t1: float | None = None):
+        self.id = id
+        self.parent = parent
+        self.kind = kind
+        self.t0 = t0
+        self.t1 = t1
+        self.tid = tid
+        self.attrs = attrs
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        return 0.0 if self.t1 is None else self.t1 - self.t0
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "parent": self.parent,
+            "kind": self.kind,
+            "t0": self.t0,
+            "t1": self.t1,
+            "tid": self.tid,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SpanRecord":
+        return cls(
+            id=int(d["id"]),
+            parent=None if d.get("parent") is None else int(d["parent"]),
+            kind=str(d["kind"]),
+            t0=float(d["t0"]),
+            tid=int(d.get("tid", 0)),
+            attrs=dict(d.get("attrs", {})),
+            t1=None if d.get("t1") is None else float(d["t1"]),
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SpanRecord):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRecord(id={self.id}, kind={self.kind!r}, "
+            f"parent={self.parent}, dur={self.duration * 1e3:.3f}ms)"
+        )
+
+
+class Tracer:
+    """Collects finished spans (thread-safe append, snapshot reads)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+        self.epoch_ns = time.perf_counter_ns()
+        #: wall-clock time of the epoch, for correlating traces with logs.
+        self.wall_epoch = time.time()
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return (time.perf_counter_ns() - self.epoch_ns) * 1e-9
+
+    def record(self, rec: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(rec)
+
+    def finished(self) -> list[SpanRecord]:
+        """Snapshot of all recorded spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+        self.epoch_ns = time.perf_counter_ns()
+        self.wall_epoch = time.time()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+_ids = itertools.count(1)
+_current: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+_tracer = Tracer()
+
+
+def _truthy(value: str | None) -> bool:
+    return (value or "").strip().lower() in {"1", "true", "yes", "on"}
+
+
+_enabled: bool = _truthy(os.environ.get("REPRO_TRACE"))
+
+
+def enabled() -> bool:
+    """Whether tracing is currently on (the call-site guard)."""
+    return _enabled
+
+
+def enable(*, clear: bool = False) -> None:
+    """Turn tracing on; ``clear=True`` also drops previously recorded spans."""
+    global _enabled
+    if clear:
+        _tracer.clear()
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn tracing off (recorded spans are kept until :meth:`Tracer.clear`)."""
+    global _enabled
+    _enabled = False
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer holding recorded spans."""
+    return _tracer
+
+
+def current_span_id() -> int | None:
+    """Id of the innermost open span in this context, if any."""
+    return _current.get()
+
+
+class _NullSpan:
+    """Reusable no-op context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("kind", "attrs", "rec", "_token")
+
+    def __init__(self, kind: str, attrs: dict):
+        self.kind = kind
+        self.attrs = attrs
+
+    def __enter__(self) -> SpanRecord:
+        rec = SpanRecord(
+            id=next(_ids),
+            parent=_current.get(),
+            kind=self.kind,
+            t0=_tracer.now(),
+            tid=threading.get_ident(),
+            attrs=self.attrs,
+        )
+        self.rec = rec
+        self._token = _current.set(rec.id)
+        return rec
+
+    def __exit__(self, *exc) -> bool:
+        _current.reset(self._token)
+        rec = self.rec
+        rec.t1 = _tracer.now()
+        _tracer.record(rec)
+        _metrics.observe_span(rec.kind, rec.t1 - rec.t0)
+        return False
+
+
+def span(kind: str, **attrs):
+    """Context manager timing one region as a span of ``kind``.
+
+    While tracing is disabled this returns a shared null context manager —
+    the only cost is the call itself and the keyword dict.  Truly hot call
+    sites should guard with ``if trace.enabled():`` and skip even that.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _Span(kind, attrs)
+
+
+@contextmanager
+def tracing(*, clear: bool = True):
+    """Enable tracing for a block, restoring the previous state after.
+
+    Usage::
+
+        with tracing():
+            engine.mttkrp(0)
+        spans = get_tracer().finished()
+    """
+    was = _enabled
+    enable(clear=clear)
+    try:
+        yield _tracer
+    finally:
+        if not was:
+            disable()

@@ -1,0 +1,192 @@
+"""Model-drift watchdog: does the cost model still describe reality?
+
+The planner picks a memoization strategy because the analytic model
+(:mod:`repro.model.cost`) *predicted* it cheapest — a prediction made once,
+before the first iteration.  The watchdog closes the loop at runtime, per
+CP-ALS iteration, along two axes:
+
+* **work drift** — measured counter events (flops, words) versus the
+  model's per-iteration prediction.  These are equal by construction when
+  the model is calibrated (a tested invariant), so the band is tight:
+  any excursion means the model's node sizes or conventions no longer
+  match what the engine executed (stale symbolic tree, perturbed
+  calibration, a bug).
+* **time drift** — measured wall time versus the machine model's
+  ``alpha*flops + beta*words`` prediction.  Machine constants are only
+  ever approximate (a few x off is routine without
+  :func:`repro.model.calibrate.calibrate_machine`), so the watchdog
+  self-calibrates: the first ``time_warmup`` iterations establish a
+  baseline measured/predicted ratio, and later iterations fire only when
+  the ratio diverges from that baseline by more than the band.  Short
+  predictions (where timer noise dominates) are skipped.
+
+A reading outside its band emits a structured :class:`ModelDriftWarning`
+(fields, not just a string), a ``repro.obs.watchdog`` log record, and
+``drift.*`` gauges in the metrics registry — the runtime analogue of the
+E5 model-accuracy experiment.
+"""
+
+from __future__ import annotations
+
+import logging
+import warnings
+from dataclasses import dataclass, field
+
+from ..model.cost import CostReport
+from ..perf.counters import Counters
+from .metrics import registry as _metrics
+
+__all__ = ["ModelDriftWarning", "DriftReading", "DriftWatchdog"]
+
+logger = logging.getLogger("repro.obs.watchdog")
+
+
+class ModelDriftWarning(UserWarning):
+    """Structured warning: one drift metric left its calibrated band."""
+
+    def __init__(self, metric: str, ratio: float, band: tuple[float, float],
+                 iteration: int, strategy: str):
+        self.metric = metric
+        self.ratio = ratio
+        self.band = band
+        self.iteration = iteration
+        self.strategy = strategy
+        super().__init__(
+            f"model drift on {metric!r}: measured/predicted ratio "
+            f"{ratio:.3f} outside band [{band[0]:.2f}, {band[1]:.2f}] "
+            f"at iteration {iteration} (strategy {strategy!r})"
+        )
+
+
+@dataclass
+class DriftReading:
+    """One iteration's measured-vs-predicted comparison."""
+
+    iteration: int
+    flops_ratio: float
+    words_ratio: float
+    #: raw measured/predicted wall-time ratio (None in the noise regime).
+    time_ratio: float | None
+    #: ``time_ratio`` relative to the warmup baseline (None until calibrated).
+    time_rel: float | None
+    measured_seconds: float
+    predicted_seconds: float
+    fired: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.fired
+
+
+class DriftWatchdog:
+    """Per-iteration comparator between a :class:`CostReport` and reality.
+
+    Parameters
+    ----------
+    cost:
+        the active strategy's predicted per-iteration cost (e.g.
+        :func:`repro.model.cost.cost_from_symbolic` on the engine's tree).
+    work_band:
+        allowed measured/predicted ratio for flops and words.  Tight by
+        default (±10%): counters and model share conventions exactly.
+    time_band:
+        allowed drift of the wall-time ratio *relative to the warmup
+        baseline* — (0.33, 3.0) means "fire when an iteration runs 3x
+        slower or faster than the calibrated expectation".
+    time_warmup:
+        iterations used to establish the baseline time ratio (their
+        median); time drift never fires during warmup.
+    min_predicted_seconds:
+        skip the time comparison entirely when the model predicts less
+        than this (timer noise regime).
+    warn:
+        emit :class:`ModelDriftWarning` + log records on excursions
+        (metrics gauges are recorded either way).
+    """
+
+    def __init__(self, cost: CostReport, *,
+                 work_band: tuple[float, float] = (0.9, 1.1),
+                 time_band: tuple[float, float] = (0.33, 3.0),
+                 time_warmup: int = 2,
+                 min_predicted_seconds: float = 1e-4,
+                 warn: bool = True):
+        self.cost = cost
+        self.work_band = work_band
+        self.time_band = time_band
+        self.time_warmup = max(int(time_warmup), 1)
+        self.min_predicted_seconds = min_predicted_seconds
+        self.warn = warn
+        self.readings: list[DriftReading] = []
+        self._warmup_ratios: list[float] = []
+        self.time_baseline: float | None = None
+
+    def observe(self, iteration: int, counters: Counters,
+                seconds: float) -> DriftReading:
+        """Compare one iteration's measurements against the model."""
+        cost = self.cost
+        flops_ratio = _ratio(counters.flops, cost.flops_per_iteration)
+        words_ratio = _ratio(counters.words, cost.words_per_iteration)
+        time_ratio = time_rel = None
+        if cost.predicted_seconds >= self.min_predicted_seconds:
+            time_ratio = _ratio(seconds, cost.predicted_seconds)
+            if self.time_baseline is None:
+                self._warmup_ratios.append(time_ratio)
+                if len(self._warmup_ratios) >= self.time_warmup:
+                    self.time_baseline = _median(self._warmup_ratios)
+            else:
+                time_rel = time_ratio / self.time_baseline
+        reading = DriftReading(
+            iteration=iteration,
+            flops_ratio=flops_ratio,
+            words_ratio=words_ratio,
+            time_ratio=time_ratio,
+            time_rel=time_rel,
+            measured_seconds=seconds,
+            predicted_seconds=cost.predicted_seconds,
+        )
+        checks = [
+            ("flops", flops_ratio, self.work_band),
+            ("words", words_ratio, self.work_band),
+        ]
+        if time_ratio is not None:
+            _metrics.set_gauge("drift.time_ratio", time_ratio)
+        if time_rel is not None:
+            checks.append(("time", time_rel, self.time_band))
+        for metric, ratio, band in checks:
+            _metrics.set_gauge(f"drift.{metric}_ratio"
+                               if metric != "time" else "drift.time_rel",
+                               ratio)
+            if not band[0] <= ratio <= band[1]:
+                reading.fired.append(metric)
+                _metrics.incr("drift.warnings")
+                if self.warn:
+                    w = ModelDriftWarning(
+                        metric, ratio, band, iteration,
+                        cost.strategy.name,
+                    )
+                    warnings.warn(w, stacklevel=3)
+                    logger.warning(
+                        "model drift: metric=%s ratio=%.3f band=[%.2f, %.2f] "
+                        "iteration=%d strategy=%s", metric, ratio,
+                        band[0], band[1], iteration, cost.strategy.name,
+                    )
+        self.readings.append(reading)
+        return reading
+
+    def n_fired(self) -> int:
+        """Total out-of-band readings so far."""
+        return sum(len(r.fired) for r in self.readings)
+
+
+def _ratio(measured: float, predicted: float) -> float:
+    if predicted <= 0:
+        return float("inf") if measured > 0 else 1.0
+    return measured / predicted
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])

@@ -21,6 +21,7 @@ from ..core.coo import CooTensor
 from ..core.dtypes import VALUE_DTYPE
 from ..core.engine import MemoizedMttkrp, contraction_work
 from ..kernels import get_kernel
+from ..obs import trace as _trace
 from ..perf import counters as perf
 from .pool import WorkerPool
 
@@ -79,10 +80,23 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
         ctx = self._rebuild_context(node_id)
         kernel = self._chunk_kernel
         out = np.empty((sym.nnz, self.rank), dtype=VALUE_DTYPE)
-        self.pool.run([
-            (lambda s=s, g=g: kernel.rebuild_chunk(ctx, s, g, out))
-            for s, g in chunks
-        ])
+        if _trace.enabled():
+            def chunk_fn(s, g):
+                with _trace.span("kernel_chunk", backend=kernel.name,
+                                 node=node_id):
+                    kernel.rebuild_chunk(ctx, s, g, out)
+
+            with _trace.span("node_rebuild", node=node_id, nnz=sym.nnz,
+                             parent_nnz=ctx.parent_sym.nnz,
+                             chunks=len(chunks)):
+                self.pool.run([
+                    (lambda s=s, g=g: chunk_fn(s, g)) for s, g in chunks
+                ])
+        else:
+            self.pool.run([
+                (lambda s=s, g=g: kernel.rebuild_chunk(ctx, s, g, out))
+                for s, g in chunks
+            ])
         flops, words = contraction_work(
             ctx.parent_sym.nnz, self.rank, len(sym.delta_modes)
         )

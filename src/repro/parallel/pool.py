@@ -8,6 +8,7 @@ deliberately thin: submit a list of thunks, collect results in order.
 
 from __future__ import annotations
 
+import contextvars
 import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
@@ -18,6 +19,7 @@ from ..core.coo import CooTensor
 from ..core.dtypes import VALUE_DTYPE
 from ..core.validate import check_mode, check_positive_int
 from ..baselines.base import MttkrpBackend
+from ..obs import trace as _trace
 from .partition import partition_nonzeros
 
 
@@ -43,11 +45,37 @@ class WorkerPool:
             self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
 
     def run(self, tasks: Sequence[Callable[[], object]]) -> list[object]:
-        """Execute thunks, returning their results in submission order."""
+        """Execute thunks, returning their results in submission order.
+
+        When tracing is enabled, each task runs inside a copy of the
+        submitting thread's :mod:`contextvars` context wrapped in a
+        ``pool_task`` span, so worker-thread spans (and any context-local
+        counters) nest under the caller's current span.  The traced path is
+        entirely skipped while tracing is off.
+        """
         if self._executor is None or len(tasks) <= 1:
+            if _trace.enabled():
+                return [
+                    self._run_span(t, i) for i, t in enumerate(tasks)
+                ]
             return [t() for t in tasks]
-        futures = [self._executor.submit(t) for t in tasks]
+        if _trace.enabled():
+            # One context copy per task: a Context cannot be entered by two
+            # threads at once, and the copy carries the parent span id.
+            futures = [
+                self._executor.submit(
+                    contextvars.copy_context().run, self._run_span, t, i
+                )
+                for i, t in enumerate(tasks)
+            ]
+        else:
+            futures = [self._executor.submit(t) for t in tasks]
         return [f.result() for f in futures]
+
+    @staticmethod
+    def _run_span(task: Callable[[], object], index: int) -> object:
+        with _trace.span("pool_task", index=index):
+            return task()
 
     def close(self) -> None:
         if self._executor is not None:

@@ -104,3 +104,73 @@ class TestCommands:
     def test_error_exit_code(self, capsys):
         assert main(["info", "definitely-not-a-dataset"]) == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_log_level(self, capsys):
+        import logging
+
+        assert main(["--log-level", "warning", "datasets"]) == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+
+
+class TestTraceCommands:
+    @pytest.fixture(autouse=True)
+    def clean_obs_state(self):
+        from repro.obs import trace
+        from repro.obs.metrics import registry
+
+        yield
+        trace.disable()
+        trace.get_tracer().clear()
+        registry.reset()
+
+    def _trace_run(self, tmp_path, capsys):
+        trace_dir = tmp_path / "tr"
+        assert main([
+            "trace", "--trace-dir", str(trace_dir),
+            "decompose", "nips", "--scale", "0.01", "--rank", "2",
+            "--iters", "2", "--strategy", "bdt",
+        ]) == 0
+        return trace_dir, capsys.readouterr().out
+
+    def test_trace_writes_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        trace_dir, out = self._trace_run(tmp_path, capsys)
+        for name in ("trace.chrome.json", "trace.jsonl",
+                     "trace_summary.txt", "metrics.json"):
+            assert (trace_dir / name).exists(), name
+        assert "traced" in out and "mttkrp" in out
+        with open(trace_dir / "trace.chrome.json") as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+        with open(trace_dir / "metrics.json") as fh:
+            snap = json.load(fh)
+        assert snap["metrics"]["counters"]["flops"] > 0
+        assert "als_iteration" in snap["metrics"]["spans"]
+
+    def test_trace_restores_disabled_state(self, tmp_path, capsys):
+        from repro.obs import trace
+
+        assert not trace.enabled()
+        self._trace_run(tmp_path, capsys)
+        assert not trace.enabled()
+
+    def test_report_renders_saved_trace(self, tmp_path, capsys):
+        trace_dir, _ = self._trace_run(tmp_path, capsys)
+        assert main(["report", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "spans from" in out
+        assert "mttkrp" in out and "als_iteration" in out
+
+    def test_trace_rejects_empty_and_nested(self, capsys):
+        assert main(["trace"]) == 2
+        assert "missing command" in capsys.readouterr().err
+        assert main(["trace", "trace", "datasets"]) == 2
+        assert "cannot trace" in capsys.readouterr().err

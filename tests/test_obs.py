@@ -1,0 +1,356 @@
+"""Tests for the observability stack: tracer, exporters, metrics, watchdog."""
+
+import dataclasses
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.cpals import cp_als
+from repro.core.engine import MemoizedMttkrp
+from repro.core.strategy import balanced_binary
+from repro.model.cost import cost_from_symbolic
+from repro.obs import export, metrics, trace
+from repro.obs.buildinfo import (artifact_envelope, build_info,
+                                 version_string)
+from repro.obs.metrics import registry
+from repro.obs.watchdog import DriftWatchdog, ModelDriftWarning
+from repro.parallel.engine import ParallelMemoizedMttkrp
+
+from .helpers import random_coo
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts and ends with tracing off and empty global state."""
+    trace.disable()
+    trace.get_tracer().clear()
+    registry.reset()
+    yield
+    trace.disable()
+    trace.get_tracer().clear()
+    registry.reset()
+
+
+def small_engine(parallel=False, rank=4, **kwargs):
+    rng = np.random.default_rng(0)
+    t = random_coo(rng, (12, 11, 10, 9), 400)
+    factors = [rng.standard_normal((d, rank)) for d in t.shape]
+    cls = ParallelMemoizedMttkrp if parallel else MemoizedMttkrp
+    return cls(t, balanced_binary(4), factors, **kwargs)
+
+
+class TestSpans:
+    def test_disabled_records_nothing(self):
+        assert not trace.enabled()
+        with trace.span("mttkrp", mode=0) as rec:
+            assert rec is None
+        assert len(trace.get_tracer()) == 0
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert trace.span("a") is trace.span("b", x=1)
+
+    def test_nesting_sets_parent(self):
+        trace.enable(clear=True)
+        with trace.span("outer") as outer:
+            assert trace.current_span_id() == outer.id
+            with trace.span("inner") as inner:
+                assert inner.parent == outer.id
+        assert trace.current_span_id() is None
+        spans = trace.get_tracer().finished()
+        assert [s.kind for s in spans] == ["inner", "outer"]  # exit order
+        assert spans[1].parent is None
+        assert all(s.duration >= 0 for s in spans)
+
+    def test_tracing_context_restores_state(self):
+        assert not trace.enabled()
+        with trace.tracing():
+            assert trace.enabled()
+            with trace.span("x"):
+                pass
+        assert not trace.enabled()
+        assert len(trace.get_tracer()) == 1
+
+    def test_attrs_recorded(self):
+        trace.enable(clear=True)
+        with trace.span("node_rebuild", node=(0, 1), nnz=42):
+            pass
+        (rec,) = trace.get_tracer().finished()
+        assert rec.attrs == {"node": (0, 1), "nnz": 42}
+
+    def test_engine_emits_expected_kinds(self):
+        engine = small_engine()
+        trace.enable(clear=True)
+        engine.mttkrp(0)
+        kinds = {s.kind for s in trace.get_tracer().finished()}
+        assert {"mttkrp", "node_rebuild", "kernel"} <= kinds
+
+    def test_spans_feed_metrics(self):
+        trace.enable(clear=True)
+        with trace.span("mttkrp", mode=0):
+            pass
+        snap = metrics()
+        assert snap["spans"]["mttkrp"]["count"] == 1
+        assert snap["spans"]["mttkrp"]["total_seconds"] >= 0
+
+
+class TestPoolNesting:
+    def test_worker_spans_nest_under_engine_span(self):
+        engine = small_engine(parallel=True, n_workers=2, min_chunk_rows=1)
+        try:
+            trace.enable(clear=True)
+            engine.mttkrp(0)
+        finally:
+            engine.close()
+        spans = {s.id: s for s in trace.get_tracer().finished()}
+        pool_tasks = [s for s in spans.values() if s.kind == "pool_task"]
+        chunks = [s for s in spans.values() if s.kind == "kernel_chunk"]
+        assert pool_tasks and chunks
+
+        def root_kind(s):
+            while s.parent is not None:
+                s = spans[s.parent]
+            return s.kind
+
+        # Every worker-side span must resolve through node_rebuild to the
+        # engine's mttkrp span even though it ran on a pool thread.
+        for s in pool_tasks + chunks:
+            assert s.parent in spans
+            assert root_kind(s) == "mttkrp"
+        assert any(
+            spans[s.parent].kind == "pool_task" for s in chunks
+        )
+
+
+class TestExporters:
+    def _traced_spans(self):
+        engine = small_engine()
+        trace.enable(clear=True)
+        engine.mttkrp(1)
+        return trace.get_tracer().finished()
+
+    def test_chrome_trace_is_valid(self):
+        spans = self._traced_spans()
+        doc = export.to_chrome_trace(spans)
+        assert export.validate_chrome_trace(doc) == []
+        assert doc["otherData"]["span_count"] == len(spans)
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(x_events) == len(spans)
+        assert {e["args"]["kind"] for e in x_events} == {
+            s.kind for s in spans
+        }
+
+    def test_chrome_trace_file_round_trip(self, tmp_path):
+        spans = self._traced_spans()
+        path = tmp_path / "trace.chrome.json"
+        export.write_chrome_trace(str(path), spans)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert export.validate_chrome_trace(doc) == []
+
+    def test_validator_rejects_malformed(self):
+        assert export.validate_chrome_trace([]) != []
+        assert export.validate_chrome_trace({"traceEvents": {}}) != []
+        bad_event = {
+            "traceEvents": [{"name": "x", "ph": "X", "ts": -1.0,
+                             "pid": 1, "tid": 1}],
+            "otherData": {"schema": export.CHROME_SCHEMA},
+        }
+        problems = export.validate_chrome_trace(bad_event)
+        assert any("dur" in p for p in problems)
+        assert any("ts" in p for p in problems)
+
+    def test_jsonl_round_trip_lossless(self, tmp_path):
+        spans = self._traced_spans()
+        path = tmp_path / "trace.jsonl"
+        assert export.write_jsonl(str(path), spans) == len(spans)
+        back = export.read_jsonl(str(path))
+        assert back == spans
+
+    def test_tree_summary_shows_hierarchy(self):
+        self._traced_spans()
+        text = export.tree_summary()
+        assert "mttkrp" in text
+        # children are indented under the mttkrp root
+        assert any(line.startswith("  ") for line in text.splitlines())
+
+    def test_tree_summary_elides_long_sibling_lists(self):
+        trace.enable(clear=True)
+        with trace.span("root"):
+            for i in range(30):
+                with trace.span("child", index=i):
+                    pass
+        text = export.tree_summary(max_children=6)
+        assert "siblings elided" in text
+        assert text.count("child") < 30
+
+    def test_kind_table(self):
+        self._traced_spans()
+        table = export.kind_table()
+        assert "mttkrp" in table and "count" in table
+
+    def test_empty_trace(self):
+        assert export.tree_summary([]) == "(no spans recorded)"
+        assert export.validate_chrome_trace(export.to_chrome_trace([])) == []
+
+
+class TestWatchdog:
+    def _fit(self, counters_scale=1.0):
+        engine = small_engine()
+        return engine, cost_from_symbolic(engine.symbolic, 4)
+
+    def _run_iteration(self, engine):
+        from repro.perf import counters as perf
+
+        with perf.counting() as c:
+            for n in engine.mode_order:
+                engine.mttkrp(n)
+                engine.update_factor(n, engine.factors[n])
+        return c
+
+    def test_quiet_on_calibrated_model(self):
+        engine, cost = self._fit()
+        dog = DriftWatchdog(cost)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ModelDriftWarning)
+            for i in range(3):
+                c = self._run_iteration(engine)
+                reading = dog.observe(i, c, seconds=0.01)
+        assert dog.n_fired() == 0
+        assert reading.ok
+        # counters match the model exactly by construction
+        assert reading.flops_ratio == pytest.approx(1.0)
+        assert reading.words_ratio == pytest.approx(1.0)
+
+    def test_fires_on_work_drift(self):
+        engine, cost = self._fit()
+        perturbed = dataclasses.replace(
+            cost, flops_per_iteration=cost.flops_per_iteration * 2
+        )
+        dog = DriftWatchdog(perturbed)
+        c = self._run_iteration(engine)
+        with pytest.warns(ModelDriftWarning, match="flops"):
+            reading = dog.observe(0, c, seconds=0.01)
+        assert "flops" in reading.fired
+        assert reading.flops_ratio == pytest.approx(0.5)
+        assert dog.n_fired() == 1
+        snap = metrics()
+        assert snap["events"]["drift.warnings"] == 1
+        assert snap["gauges"]["drift.flops_ratio"] == pytest.approx(0.5)
+
+    def test_time_drift_self_calibrates_then_fires(self):
+        engine, cost = self._fit()
+        assert cost.predicted_seconds >= 1e-4 or True
+        dog = DriftWatchdog(cost, time_warmup=2,
+                            min_predicted_seconds=0.0, warn=True)
+        c = self._run_iteration(engine)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ModelDriftWarning)
+            dog.observe(0, c, seconds=0.01)   # warmup
+            dog.observe(1, c, seconds=0.01)   # warmup -> baseline
+            dog.observe(2, c, seconds=0.012)  # within 3x of baseline
+        assert dog.time_baseline is not None
+        with pytest.warns(ModelDriftWarning, match="time"):
+            reading = dog.observe(3, c, seconds=0.01 * 10)  # 10x baseline
+        assert "time" in reading.fired
+        assert reading.time_rel == pytest.approx(10.0, rel=1e-6)
+
+    def test_skips_time_in_noise_regime(self):
+        engine, cost = self._fit()
+        dog = DriftWatchdog(cost, min_predicted_seconds=1e9)
+        c = self._run_iteration(engine)
+        reading = dog.observe(0, c, seconds=123.0)
+        assert reading.time_ratio is None and reading.time_rel is None
+        assert dog.n_fired() == 0
+
+    def test_cp_als_attaches_watchdog_when_tracing(self):
+        t = random_coo(np.random.default_rng(3), (10, 9, 8, 7), 300)
+        trace.enable(clear=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ModelDriftWarning)
+            result = cp_als(t, 3, strategy=balanced_binary(4),
+                            n_iter_max=3, random_state=0)
+        assert result.drift_readings is not None
+        assert len(result.drift_readings) == 3
+        # work ratios are exact regardless of machine-time calibration
+        for r in result.drift_readings:
+            assert r.flops_ratio == pytest.approx(1.0)
+            assert r.words_ratio == pytest.approx(1.0)
+
+    def test_cp_als_no_watchdog_when_disabled(self):
+        t = random_coo(np.random.default_rng(3), (10, 9, 8), 150)
+        result = cp_als(t, 2, strategy="star", n_iter_max=2,
+                        random_state=0)
+        assert result.drift_readings is None
+
+
+class TestCpAlsTracing:
+    def test_span_tree_covers_engine_time(self):
+        t = random_coo(np.random.default_rng(4), (14, 13, 12, 11), 800)
+        n_iter = 3
+        trace.enable(clear=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ModelDriftWarning)
+            cp_als(t, 4, strategy=balanced_binary(4), n_iter_max=n_iter,
+                   random_state=1)
+        spans = trace.get_tracer().finished()
+        iters = [s for s in spans if s.kind == "als_iteration"]
+        mttkrps = [s for s in spans if s.kind == "mttkrp"]
+        assert len(iters) == n_iter
+        assert len(mttkrps) == n_iter * 4  # one per mode per iteration
+        assert {s.attrs["mode"] for s in mttkrps} == {0, 1, 2, 3}
+        # every mttkrp nests (possibly transitively) under an iteration
+        by_id = {s.id: s for s in spans}
+        for s in mttkrps:
+            cur = s
+            while cur.parent is not None:
+                cur = by_id[cur.parent]
+            assert cur.kind == "als_iteration"
+        # per-iteration child spans fit inside their parent's window
+        for it in iters:
+            for child in (s for s in spans if s.parent == it.id):
+                assert child.t0 >= it.t0 - 1e-9
+                assert child.t1 <= it.t1 + 1e-9
+
+
+class TestBuildInfo:
+    def test_build_info_keys(self):
+        info = build_info()
+        assert {"version", "git_rev", "python", "numpy"} <= set(info)
+
+    def test_version_string(self):
+        s = version_string()
+        assert s.startswith("repro ") and "python" in s
+
+    def test_artifact_envelope(self):
+        env = artifact_envelope("E3", {"x": 1}, scale=0.1)
+        assert env["schema"] == "repro-bench/v1"
+        assert env["artifact_id"] == "E3"
+        assert env["result"] == {"x": 1}
+        assert env["meta"]["scale"] == 0.1
+        assert "timestamp" in env["meta"] and "git_rev" in env["meta"]
+        json.dumps(env)  # JSON-serializable end to end
+
+
+class TestMetricsRegistry:
+    def test_gauges_and_events(self):
+        registry.set_gauge("g", 2.5)
+        registry.incr("e")
+        registry.incr("e", 2)
+        snap = metrics()
+        assert snap["gauges"]["g"] == 2.5
+        assert snap["events"]["e"] == 3
+
+    def test_kernel_resolution_counted(self):
+        from repro.kernels import get_kernel
+
+        get_kernel("numpy")
+        assert metrics()["events"]["kernel.resolved.numpy"] >= 1
+
+    def test_histogram_buckets(self):
+        registry.observe_span("k", 0.001)
+        registry.observe_span("k", 0.002)
+        stats = metrics()["spans"]["k"]
+        assert stats["count"] == 2
+        assert sum(stats["log2_buckets"].values()) == 2
