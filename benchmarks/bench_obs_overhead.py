@@ -7,17 +7,22 @@ three configurations:
 
 * ``disabled`` — tracing off, the shipped default (guards short-circuit);
 * ``enabled``  — spans recorded for every iteration/MTTKRP/rebuild/kernel;
-* ``enabled+watchdog`` — spans plus per-iteration counter collection and
-  the model-drift comparison, i.e. everything ``repro trace`` turns on.
+* ``enabled_watchdog`` — spans plus per-iteration counter collection and
+  the model-drift comparison;
+* ``enabled_memtrack`` — spans plus the memoized-value memory tracker
+  (store/free events + per-iteration windows), i.e. everything
+  ``repro trace`` turns on except tracemalloc sampling.
 
 Writes ``benchmarks/results/BENCH_obs_overhead.json`` (shared
 ``repro-bench/v1`` envelope) with per-config ms/iteration and overhead
-percentages relative to ``disabled``::
+percentages relative to ``disabled``, and appends the per-config timings
+to ``benchmarks/history/history.jsonl`` for ``repro bench-diff``::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 
-The acceptance bar: enabled overhead < 3%, disabled within timer noise of
-an uninstrumented build (the guard is one module-bool check per call site).
+The acceptance bar: enabled overhead < 3%, memory tracking < 1% on top,
+disabled within timer noise of an uninstrumented build (the guard is one
+module-bool check per call site).
 """
 
 import json
@@ -29,6 +34,7 @@ import numpy as np
 from repro.core.engine import MemoizedMttkrp
 from repro.core.strategy import balanced_binary
 from repro.model.cost import cost_from_symbolic
+from repro.obs import memory as obs_memory
 from repro.obs import trace as obs_trace
 from repro.obs.buildinfo import artifact_envelope
 from repro.obs.metrics import registry
@@ -48,10 +54,13 @@ def _als_iteration(engine: MemoizedMttkrp) -> None:
 
 
 def _best_iteration_seconds(engine, repeats: int, *,
-                            watchdog: DriftWatchdog | None = None) -> float:
+                            watchdog: DriftWatchdog | None = None,
+                            mem_tracker=None) -> float:
     _als_iteration(engine)  # warm: caches, arena, (when tracing) span path
     best = float("inf")
     for i in range(repeats):
+        if mem_tracker is not None:
+            mem_tracker.begin_window()
         t0 = time.perf_counter()
         if watchdog is not None:
             with perf.counting() as c:
@@ -61,6 +70,10 @@ def _best_iteration_seconds(engine, repeats: int, *,
         else:
             _als_iteration(engine)
             seconds = time.perf_counter() - t0
+        if mem_tracker is not None:
+            mem_tracker.observe_iteration(
+                i, workspace_bytes=engine.workspace_nbytes()
+            )
         best = min(best, seconds)
     return best
 
@@ -91,6 +104,17 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
         engine, repeats, watchdog=watchdog
     )
     span_count = len(obs_trace.get_tracer())
+
+    obs_trace.get_tracer().clear()
+    obs_memory.enable(clear=True)
+    tracker = obs_memory.get_tracker()
+    with_memtrack = _best_iteration_seconds(
+        engine, repeats, mem_tracker=tracker
+    )
+    mem_peak = tracker.peak_bytes
+    mem_events = tracker.n_stores + tracker.n_frees
+    obs_memory.disable()
+    tracker.reset()
     obs_trace.disable()
     obs_trace.get_tracer().clear()
 
@@ -115,9 +139,14 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
                 "seconds_per_iteration": with_watchdog,
                 "overhead_pct": pct(with_watchdog),
             },
+            "enabled_memtrack": {
+                "seconds_per_iteration": with_memtrack,
+                "overhead_pct": pct(with_memtrack),
+            },
         },
         "spans_per_measured_block": span_count,
         "drift_fired": watchdog.n_fired(),
+        "memtrack": {"peak_bytes": mem_peak, "events": mem_events},
     }
 
 
@@ -142,6 +171,17 @@ def main() -> None:
         fh.write("\n".join(lines) + "\n")
     print("\n".join(lines))
     print(f"wrote {base}.json")
+    if not os.environ.get("REPRO_BENCH_NO_HISTORY"):
+        from repro.obs.history import BenchHistory
+
+        history = BenchHistory(
+            os.path.join(os.path.dirname(__file__), "history",
+                         "history.jsonl")
+        )
+        for name, run in report["runs"].items():
+            history.record(f"obs_overhead.{name}.seconds_per_iteration",
+                           run["seconds_per_iteration"])
+        print(f"recorded {len(report['runs'])} timings into {history.path}")
 
 
 if __name__ == "__main__":

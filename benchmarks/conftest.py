@@ -62,3 +62,23 @@ def save_result(result, results_dir):
         json.dump(envelope, fh, indent=2)
         fh.write("\n")
     return base
+
+
+HISTORY_PATH = os.path.join(os.path.dirname(__file__), "history",
+                            "history.jsonl")
+
+
+def record_history(bench_id, seconds, *, unit="seconds", **extra):
+    """Append one measurement to the bench history (see docs/benchmarking.md).
+
+    Benches call this next to their pytest-benchmark timing so ``repro
+    bench-diff`` can compare the run against the committed baseline.
+    Disable with ``REPRO_BENCH_NO_HISTORY=1`` (e.g. throwaway local runs).
+    """
+    if os.environ.get("REPRO_BENCH_NO_HISTORY"):
+        return None
+    from repro.obs.history import BenchHistory
+
+    return BenchHistory(HISTORY_PATH).record(
+        bench_id, seconds, unit=unit, **extra
+    )

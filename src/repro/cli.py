@@ -15,12 +15,17 @@ cache format), or a registry dataset name (generated on the fly; use
 ``--scale``).
 
 ``repro trace <command> ...`` runs any other subcommand with the span
-tracer and metrics registry enabled and writes ``trace.chrome.json``
-(Chrome ``trace_event`` format — load in ``chrome://tracing`` or
-Perfetto), ``trace.jsonl``, ``metrics.json``, and a text summary;
-``repro report`` pretty-prints a saved JSONL trace.  ``--log-level``
-controls the ``repro.*`` loggers (the drift watchdog logs there), and
-``--version`` prints build info (version, git revision, toolchain).
+tracer, memory tracker, and metrics registry enabled and writes
+``trace.chrome.json`` (Chrome ``trace_event`` format — load in
+``chrome://tracing`` or Perfetto, with a live-bytes counter track),
+``trace.jsonl``, ``memory.json``, ``metrics.json``, and a text summary;
+``repro report`` pretty-prints a saved JSONL trace.  ``repro bench-diff``
+compares benchmark history entries against the stored baseline with the
+noise-aware comparator (see ``docs/benchmarking.md``) and exits non-zero
+on regression; ``repro dashboard`` renders history + memory + trace into
+one self-contained HTML file.  ``--log-level`` controls the ``repro.*``
+loggers (the drift watchdog logs there), and ``--version`` prints build
+info (version, git revision, toolchain).
 """
 
 from __future__ import annotations
@@ -181,6 +186,7 @@ def cmd_complete(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    from .obs import memory as obs_memory
     from .obs import trace as obs_trace
     from .obs.buildinfo import build_info
     from .obs.export import (kind_table, tree_summary, write_chrome_trace,
@@ -196,13 +202,15 @@ def cmd_trace(args) -> int:
             "trace: missing command to run, e.g. "
             "'repro trace decompose data.tns --rank 16'"
         )
-    if rest[0] in ("trace", "report"):
+    if rest[0] in ("trace", "report", "bench-diff", "dashboard"):
         raise ValueError(f"trace: cannot trace the {rest[0]!r} command")
     inner = build_parser().parse_args(rest)
     os.makedirs(args.trace_dir, exist_ok=True)
 
     was_enabled = obs_trace.enabled()
+    mem_was_enabled = obs_memory.enabled()
     obs_trace.enable(clear=True)
+    obs_memory.enable(clear=True, sample_tracemalloc=True)
     registry.reset()
     t0 = time.perf_counter()
     try:
@@ -211,14 +219,18 @@ def cmd_trace(args) -> int:
     finally:
         if not was_enabled:
             obs_trace.disable()
+        if not mem_was_enabled:
+            obs_memory.disable()
     elapsed = time.perf_counter() - t0
 
     spans = obs_trace.get_tracer().finished()
+    mem = obs_memory.get_tracker()
     chrome_path = os.path.join(args.trace_dir, "trace.chrome.json")
     jsonl_path = os.path.join(args.trace_dir, "trace.jsonl")
     summary_path = os.path.join(args.trace_dir, "trace_summary.txt")
     metrics_path = os.path.join(args.trace_dir, "metrics.json")
-    write_chrome_trace(chrome_path, spans)
+    memory_path = os.path.join(args.trace_dir, "memory.json")
+    write_chrome_trace(chrome_path, spans, mem_samples=mem.samples)
     write_jsonl(jsonl_path, spans)
     with open(summary_path, "w") as fh:
         fh.write(tree_summary(spans) + "\n\n" + kind_table(spans) + "\n")
@@ -231,11 +243,20 @@ def cmd_trace(args) -> int:
             fh, indent=2,
         )
         fh.write("\n")
+    with open(memory_path, "w") as fh:
+        _json.dump(mem.snapshot(), fh, indent=2)
+        fh.write("\n")
 
     print(f"\n-- traced {len(spans)} spans in {elapsed:.2f}s")
     print(kind_table(spans))
+    if mem.readings:
+        last = mem.readings[-1]
+        print(f"\nmemory: peak memoized values {mem.peak_bytes:,} B "
+              f"(predicted {last.predicted_peak_bytes:,} B, "
+              f"{len(mem.readings)} iteration readings)")
     print(f"\nwrote {chrome_path} (open in chrome://tracing or "
-          f"https://ui.perfetto.dev), {jsonl_path}, {metrics_path}")
+          f"https://ui.perfetto.dev), {jsonl_path}, {memory_path}, "
+          f"{metrics_path}")
     return rc
 
 
@@ -266,6 +287,70 @@ def cmd_report(args) -> int:
             print("gauges  : " + ", ".join(
                 f"{k}={v:.3f}" for k, v in sorted(gauges.items())
             ))
+    return 0
+
+
+def cmd_bench_diff(args) -> int:
+    from .obs.history import BenchHistory, compare, format_diff_table
+
+    history = BenchHistory(args.history).entries()
+    if args.current:
+        current = BenchHistory(args.current).entries()
+    else:
+        # No separate run file: the newest run recorded in the history
+        # itself is the "current" run, everything before it the baseline.
+        if not history:
+            print(f"error: no history at {args.history}", file=sys.stderr)
+            return 2
+        last_run = history[-1].run_id
+        current = [e for e in history if e.run_id == last_run]
+    if not current:
+        print("error: no current entries to compare", file=sys.stderr)
+        return 2
+    results = compare(current, history, rel_band=args.band, k=args.k)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps([r.to_dict() for r in results], indent=2))
+    else:
+        print(format_diff_table(results))
+    return 1 if any(r.status == "regression" for r in results) else 0
+
+
+def cmd_dashboard(args) -> int:
+    from .obs.dashboard import load_memory_json, write_dashboard
+    from .obs.export import kind_table, read_jsonl, tree_summary
+    from .obs.history import BenchHistory, compare
+
+    entries = BenchHistory(args.history).entries()
+    diffs = []
+    if entries:
+        last_run = entries[-1].run_id
+        current = [e for e in entries if e.run_id == last_run]
+        diffs = compare(current, entries, rel_band=args.band, k=args.k)
+
+    readings: list = []
+    kinds = summary = None
+    if args.trace_dir and os.path.isdir(args.trace_dir):
+        memory_path = os.path.join(args.trace_dir, "memory.json")
+        jsonl_path = os.path.join(args.trace_dir, "trace.jsonl")
+        if os.path.exists(memory_path):
+            readings = load_memory_json(memory_path)
+        if os.path.exists(jsonl_path):
+            spans = read_jsonl(jsonl_path)
+            kinds = kind_table(spans)
+            summary = tree_summary(spans)
+
+    out = write_dashboard(
+        args.out,
+        history_entries=entries,
+        diffs=diffs,
+        memory_readings=readings,
+        kind_table_text=kinds,
+        trace_summary=summary,
+    )
+    print(f"wrote {out} ({len(entries)} history entries, "
+          f"{len(readings)} memory readings)")
     return 0
 
 
@@ -344,6 +429,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the command to trace, e.g. 'decompose data.tns "
                    "--rank 16'")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="compare benchmark history against the stored baseline",
+        description="Noise-aware benchmark regression check: per bench id "
+        "the current value (min over the run's samples) is compared to the "
+        "min of the last k matching baseline entries; a regression is "
+        "flagged only outside the relative band.  Exit code 1 on "
+        "regression (CI runs this soft-fail).  See docs/benchmarking.md.",
+    )
+    p.add_argument("current", nargs="?", default=None,
+                   help="JSONL file with the current run's entries "
+                   "(default: the newest run inside --history)")
+    p.add_argument("--history",
+                   default=os.path.join("benchmarks", "history",
+                                        "history.jsonl"),
+                   help="baseline history JSONL (default: "
+                   "benchmarks/history/history.jsonl)")
+    p.add_argument("--band", type=float, default=0.10,
+                   help="relative tolerance band (default: 0.10 = ±10%%)")
+    p.add_argument("--k", type=int, default=5,
+                   help="baseline = min of the last k matching entries")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(fn=cmd_bench_diff)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="render history + memory + trace into one HTML file",
+        description="Self-contained HTML dashboard: bench history "
+        "sparklines with baseline verdicts, the measured-vs-predicted "
+        "memory series, and trace summaries.  No JS, inline SVG only — "
+        "open the file directly in a browser.",
+    )
+    p.add_argument("--history",
+                   default=os.path.join("benchmarks", "history",
+                                        "history.jsonl"),
+                   help="bench history JSONL")
+    p.add_argument("--trace-dir", default=None,
+                   help="a 'repro trace' output directory (memory.json + "
+                   "trace.jsonl) to include")
+    p.add_argument("--out", default="dashboard.html",
+                   help="output HTML path (default: dashboard.html)")
+    p.add_argument("--band", type=float, default=0.10)
+    p.add_argument("--k", type=int, default=5)
+    p.set_defaults(fn=cmd_dashboard)
 
     p = sub.add_parser("report", help="summarize a saved JSONL trace")
     p.add_argument("trace", help="trace.jsonl file (or the trace directory)")

@@ -19,10 +19,11 @@ from ..linalg.gram import GramCache
 from ..linalg.innerprod import innerprod_from_mttkrp
 from ..linalg.norms import normalize_columns
 from ..linalg.solve import solve_normal_equations
+from ..obs import memory as _obs_mem
 from ..obs import trace as _obs
 from ..perf import counters as perf
 from .coo import CooTensor
-from .dtypes import VALUE_DTYPE
+from .dtypes import VALUE_DTYPE, VALUE_ITEMSIZE
 from .engine import MemoizedMttkrp
 from .kruskal import KruskalTensor
 from .validate import check_factor_matrices, check_positive_int, check_random_state
@@ -46,6 +47,10 @@ class CPResult:
     drift_readings: per-iteration
         :class:`~repro.obs.watchdog.DriftReading` list when a model-drift
         watchdog was active (tracing enabled or one passed in), else None.
+    memory_readings: per-iteration
+        :class:`~repro.obs.memory.MemReading` list (measured vs predicted
+        peak memoized-value bytes) when memory tracking was enabled
+        (:func:`repro.obs.memory.enabled`), else None.
     """
 
     ktensor: KruskalTensor
@@ -56,6 +61,7 @@ class CPResult:
     planner_report: object | None = None
     timings: dict = field(default_factory=dict)
     drift_readings: list | None = None
+    memory_readings: list | None = None
 
     @property
     def fit(self) -> float:
@@ -188,6 +194,26 @@ def cp_als(
 
         watchdog = DriftWatchdog(cost_from_symbolic(engine.symbolic, rank))
 
+    mem_tracker = None
+    mem_readings: list | None = None
+    predicted_peak = 0
+    if _obs_mem.enabled() and isinstance(engine, MemoizedMttkrp):
+        mem_tracker = _obs_mem.get_tracker()
+        node_nnz = engine.symbolic.node_nnz()
+        mem_tracker.register_expected(
+            id(engine),
+            [n * rank * VALUE_ITEMSIZE for n in node_nnz],
+        )
+        if watchdog is not None:
+            predicted_peak = watchdog.cost.peak_value_bytes
+        else:
+            from ..model.cost import simulate_peak_value_bytes
+
+            predicted_peak = simulate_peak_value_bytes(
+                engine.strategy, node_nnz, rank
+            )
+        mem_readings = []
+
     mode_order = tuple(engine.mode_order)
     grams = GramCache(engine.factors)
     weights = np.ones(rank, dtype=VALUE_DTYPE)
@@ -219,6 +245,8 @@ def cp_als(
 
     for iteration in range(n_iter_max):
         it0 = time.perf_counter()
+        if mem_tracker is not None:
+            mem_tracker.begin_window()
         with _obs.span("als_iteration", iteration=iteration):
             if watchdog is not None:
                 # Count this iteration's work in a private sink, then fold
@@ -233,8 +261,18 @@ def cp_als(
                 M_last = run_modes(iteration)
         it_seconds = time.perf_counter() - it0
         iter_times.append(it_seconds)
+        mem_reading = None
+        if mem_tracker is not None:
+            mem_reading = mem_tracker.observe_iteration(
+                iteration,
+                predicted_peak_bytes=predicted_peak,
+                workspace_bytes=engine.workspace_nbytes(),
+                factor_bytes=engine.factor_bytes(),
+            )
+            mem_readings.append(mem_reading)
         if watchdog is not None:
-            watchdog.observe(iteration, it_counters, it_seconds)
+            watchdog.observe(iteration, it_counters, it_seconds,
+                             mem=mem_reading)
 
         last = mode_order[-1]
         fit = _compute_fit(
@@ -261,6 +299,7 @@ def cp_als(
             "total": setup_time + float(np.sum(iter_times)),
         },
         drift_readings=watchdog.readings if watchdog is not None else None,
+        memory_readings=mem_readings,
     )
 
 

@@ -14,7 +14,9 @@ from typing import Sequence
 import numpy as np
 
 from ..kernels import RebuildContext, WorkspaceArena, get_kernel
+from ..obs import memory as _mem
 from ..obs import trace as _trace
+from ..obs.metrics import registry as _metrics
 from ..perf import counters as perf
 from .coo import CooTensor
 from .dtypes import VALUE_DTYPE
@@ -129,11 +131,17 @@ class MemoizedMttkrp:
                 f"{(self.tensor.shape[mode], self.rank)}, got {U.shape}"
             )
         self.factors[mode] = U
+        tracker = _mem.get_tracker() if _mem.enabled() else None
         for nid in self.strategy.invalidated_by(mode):
+            if tracker is not None and self._values[nid] is not None:
+                tracker.on_free(id(self), nid)
             self._values[nid] = None
 
     def invalidate_all(self) -> None:
+        tracker = _mem.get_tracker() if _mem.enabled() else None
         for nid in range(len(self._values)):
+            if tracker is not None and self._values[nid] is not None:
+                tracker.on_free(id(self), nid)
             self._values[nid] = None
 
     def set_root_values(self, vals: np.ndarray) -> None:
@@ -165,7 +173,10 @@ class MemoizedMttkrp:
         """
         mode = check_mode(mode, self.tensor.ndim)
         with _trace.span("mttkrp", mode=mode):
+            tracker = _mem.get_tracker() if _mem.enabled() else None
             for nid in self.strategy.invalidated_by(mode):
+                if tracker is not None and self._values[nid] is not None:
+                    tracker.on_free(id(self), nid)
                 self._values[nid] = None
             leaf_id = self.strategy.leaf_id(mode)
             self._ensure_node(leaf_id)
@@ -177,6 +188,8 @@ class MemoizedMttkrp:
             )
             out[sym.index[:, 0]] = vals
             perf.record(mttkrps=1, words=vals.size)
+            if _trace.enabled():
+                self._publish_memory_gauges()
             return out
 
     def mttkrp_all(self) -> list[np.ndarray]:
@@ -203,6 +216,8 @@ class MemoizedMttkrp:
                 out[sym.index[:, 0]] = vals
                 perf.record(mttkrps=1, words=vals.size)
                 outs[mode] = out
+        if _trace.enabled():
+            self._publish_memory_gauges()
         return outs
 
     def node_tensor(self, node_id: int) -> SemiSparseTensor:
@@ -243,7 +258,10 @@ class MemoizedMttkrp:
             return
         assert node.parent is not None
         self._ensure_node(node.parent)
-        self._values[node_id] = self._compute_node(node_id)
+        value = self._compute_node(node_id)
+        self._values[node_id] = value
+        if _mem.enabled():
+            _mem.get_tracker().on_store(id(self), node_id, value.nbytes)
 
     def _rebuild_context(self, node_id: int) -> RebuildContext:
         """Assemble the static + numeric state a kernel backend consumes."""
@@ -291,6 +309,25 @@ class MemoizedMttkrp:
     def workspace_nbytes(self) -> int:
         """Bytes currently held by the kernel workspace arena."""
         return self._arena.nbytes()
+
+    def factor_bytes(self) -> int:
+        """Bytes of the installed dense factor matrices (0 before install)."""
+        if self._factors is None:
+            return 0
+        return sum(U.nbytes for U in self._factors)
+
+    def _publish_memory_gauges(self) -> None:
+        """Push this engine's memory view into the metrics registry.
+
+        Called at span boundaries while tracing is on, so ``repro trace`` /
+        ``repro report`` show live/workspace/factor bytes even when the
+        full :class:`repro.obs.memory.MemTracker` is not enabled.
+        """
+        live = self.live_value_bytes()
+        _metrics.set_gauge("mem.live_value_bytes", live)
+        _metrics.set_max_gauge("mem.live_value_bytes_peak", live)
+        _metrics.set_gauge("mem.workspace_bytes", self.workspace_nbytes())
+        _metrics.set_gauge("mem.factor_bytes", self.factor_bytes())
 
     def __repr__(self) -> str:
         return (

@@ -13,6 +13,14 @@ Zero-dependency instrumentation for the engine/kernel/parallel stack:
   cost against measured counters/time, warning on drift.  (Imported
   lazily: it depends on :mod:`repro.model`, which depends on the engine
   this package instruments.)
+* :mod:`repro.obs.memory` — memoized-value memory tracker fed by engine
+  node lifecycle events; pairs measured peak bytes with the cost model's
+  prediction per ALS iteration.  Enabled via :func:`memory.enable`,
+  ``REPRO_TRACE=1``, or ``REPRO_MEMTRACK=1``.
+* :mod:`repro.obs.history` — append-only benchmark history (JSONL) and
+  the noise-aware regression comparator behind ``repro bench-diff``.
+* :mod:`repro.obs.dashboard` — self-contained HTML dashboard (bench
+  sparklines, measured-vs-predicted memory series, trace summaries).
 
 Quickstart::
 
@@ -29,17 +37,21 @@ or, from the shell, ``repro trace decompose data.tns --rank 16``.
 
 from __future__ import annotations
 
-from . import export, trace
+from . import dashboard, export, history, memory, trace
 from .buildinfo import build_info, git_revision, version_string
+from .history import BenchEntry, BenchHistory, DiffResult, compare
+from .memory import MemReading, MemTracker
 from .metrics import MetricsRegistry, metrics, registry
 from .trace import (SpanRecord, Tracer, disable, enable, enabled,
                     get_tracer, span, tracing)
 
 __all__ = [
-    "export", "trace", "watchdog",
+    "export", "trace", "watchdog", "memory", "history", "dashboard",
     "SpanRecord", "Tracer", "span", "enabled", "enable", "disable",
     "tracing", "get_tracer",
     "MetricsRegistry", "metrics", "registry",
+    "MemReading", "MemTracker",
+    "BenchEntry", "BenchHistory", "DiffResult", "compare",
     "build_info", "git_revision", "version_string",
     "ModelDriftWarning", "DriftWatchdog",
 ]

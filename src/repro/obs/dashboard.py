@@ -1,0 +1,302 @@
+"""Self-contained HTML dashboard: bench history, memory series, traces.
+
+``repro dashboard`` stitches the three observability artifacts into one
+file a reviewer can open without a server, a JS bundle, or network access:
+
+* **bench history sparklines** — one row per bench id from the
+  :mod:`repro.obs.history` JSONL store, inline-SVG trend line, latest
+  value, and the comparator verdict against the stored baseline;
+* **memory measured-vs-predicted series** — the per-ALS-iteration
+  :class:`repro.obs.memory.MemReading` list (from a ``memory.json``
+  written by ``repro trace`` or passed in directly), plotted as two
+  direct-labeled lines plus the full data table;
+* **trace summaries** — the per-kind aggregate table and span tree of a
+  saved JSONL trace.
+
+Everything is inline SVG + CSS (light/dark via ``prefers-color-scheme``);
+numbers always also appear as text tables, so nothing is color-alone.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+
+from .buildinfo import build_info
+from .history import BenchEntry, DiffResult
+
+__all__ = ["render_dashboard", "write_dashboard", "load_memory_json"]
+
+# Palette: categorical slots 1-2 (blue/orange) for the two data series,
+# the reserved status red for regressions; light/dark pairs throughout.
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 2rem auto; max-width: 68rem; padding: 0 1rem;
+  font: 14px/1.5 system-ui, sans-serif;
+  background: #fcfcfb; color: #0b0b0b;
+}
+h1, h2 { font-weight: 600; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2.2rem; }
+.meta { color: #52514e; font-size: 0.85rem; }
+table { border-collapse: collapse; margin: 0.8rem 0; width: 100%; }
+th, td { text-align: right; padding: 0.25rem 0.7rem; }
+th { color: #52514e; font-weight: 600; border-bottom: 1px solid #e8e6e3; }
+td:first-child, th:first-child { text-align: left; }
+tr + tr td { border-top: 1px solid #f0efec; }
+.num { font-variant-numeric: tabular-nums; }
+.status-regression { color: #e34948; font-weight: 600; }
+.status-ok, .status-improvement { color: #52514e; }
+.spark line, .spark polyline { stroke-linecap: round; }
+pre {
+  background: #f5f4f2; padding: 0.8rem; overflow-x: auto;
+  font-size: 12px; border-radius: 6px;
+}
+.legend { color: #52514e; font-size: 0.85rem; margin: 0.3rem 0; }
+.swatch {
+  display: inline-block; width: 10px; height: 10px; border-radius: 3px;
+  margin: 0 0.35rem 0 0.9rem; vertical-align: baseline;
+}
+@media (prefers-color-scheme: dark) {
+  body { background: #1a1a19; color: #ffffff; }
+  .meta, .legend, th, .status-ok, .status-improvement { color: #c3c2b7; }
+  th { border-bottom-color: #383835; }
+  tr + tr td { border-top-color: #2a2a28; }
+  pre { background: #222220; }
+  .status-regression { color: #e66767; }
+}
+"""
+
+#: (light, dark) hex per role; SVG uses light + a CSS class override.
+_SERIES_1 = "#2a78d6"   # measured / sparkline
+_SERIES_2 = "#eb6834"   # predicted
+_GRID = "#e8e6e3"
+
+
+def _fmt_bytes(n: float | None) -> str:
+    if n is None:
+        return "-"
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(n) < 1024 or unit == "GB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n:.0f} B"
+        n /= 1024
+    return f"{n:.1f} GB"
+
+
+def _sparkline(values: list[float], *, width: int = 220,
+               height: int = 36, color: str = _SERIES_1) -> str:
+    """Inline-SVG trend line (2px stroke, 8px end marker, no axes)."""
+    if not values:
+        return ""
+    pad = 4
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    n = len(values)
+
+    def xy(i: int, v: float) -> tuple[float, float]:
+        x = pad + (width - 2 * pad) * (i / max(n - 1, 1))
+        y = pad + (height - 2 * pad) * (1.0 - (v - lo) / span)
+        return x, y
+
+    pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in
+                   (xy(i, v) for i, v in enumerate(values)))
+    ex, ey = xy(n - 1, values[-1])
+    title = html.escape(
+        f"{n} runs, min {min(values):.4g}, last {values[-1]:.4g}"
+    )
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" aria-label="{title}">'
+        f"<title>{title}</title>"
+        f'<polyline points="{pts}" fill="none" stroke="{color}" '
+        f'stroke-width="2"/>'
+        f'<circle cx="{ex:.1f}" cy="{ey:.1f}" r="4" fill="{color}"/>'
+        "</svg>"
+    )
+
+
+def _history_section(entries: list[BenchEntry],
+                     diffs: list[DiffResult] | None) -> str:
+    if not entries:
+        return "<p class='meta'>(no bench history recorded yet)</p>"
+    by_id: dict[str, list[BenchEntry]] = {}
+    for e in entries:
+        by_id.setdefault(e.bench_id, []).append(e)
+    verdict = {d.bench_id: d for d in diffs or []}
+    rows = []
+    for bench_id in sorted(by_id):
+        series = by_id[bench_id]
+        values = [e.value for e in series]
+        last = series[-1]
+        d = verdict.get(bench_id)
+        if d is not None:
+            mark = {"regression": "&#9650; regression",
+                    "improvement": "&#9660; improvement",
+                    "no-baseline": "new bench"}.get(d.status, "ok")
+            status = (f'<span class="status-{html.escape(d.status)}">'
+                      f"{mark}</span>")
+        else:
+            status = '<span class="status-ok">-</span>'
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(bench_id)}</td>"
+            f"<td>{_sparkline(values)}</td>"
+            f'<td class="num">{last.value:.6g} {html.escape(last.unit)}</td>'
+            f'<td class="num">{min(values):.6g}</td>'
+            f'<td class="num">{len(values)}</td>'
+            f"<td>{html.escape(last.git_rev)}</td>"
+            f"<td>{status}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>bench</th><th>trend (older &rarr; newer)</th>"
+        "<th>latest</th><th>best</th><th>runs</th><th>rev</th>"
+        "<th>vs baseline</th></tr></thead><tbody>"
+        + "".join(rows) + "</tbody></table>"
+    )
+
+
+def _memory_chart(readings: list[dict]) -> str:
+    """Measured vs predicted peak bytes per ALS iteration, two lines."""
+    measured = [r.get("measured_peak_bytes") for r in readings]
+    predicted = [r.get("predicted_peak_bytes") for r in readings]
+    if not readings or not any(v for v in measured):
+        return ""
+    width, height, pad = 640, 200, 36
+    finite = [v for v in measured + predicted if v]
+    hi = max(finite) * 1.08
+    n = len(readings)
+
+    def xy(i: int, v: float) -> tuple[float, float]:
+        x = pad + (width - 2 * pad) * (i / max(n - 1, 1))
+        y = (height - pad) - (height - 2 * pad) * (v / hi)
+        return x, y
+
+    def line(vals, color, label):
+        pts = [(i, v) for i, v in enumerate(vals) if v]
+        if not pts:
+            return ""
+        poly = " ".join(f"{x:.1f},{y:.1f}" for x, y in
+                        (xy(i, v) for i, v in pts))
+        lx, ly = xy(*pts[-1])
+        dots = "".join(
+            f'<circle cx="{xy(i, v)[0]:.1f}" cy="{xy(i, v)[1]:.1f}" r="4" '
+            f'fill="{color}"><title>iter {readings[i].get("iteration", i)}: '
+            f"{html.escape(label)} {_fmt_bytes(v)}</title></circle>"
+            for i, v in pts
+        )
+        return (
+            f'<polyline points="{poly}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>{dots}'
+            f'<text x="{min(lx + 8, width - 4):.1f}" y="{ly + 4:.1f}" '
+            f'fill="{color}" font-size="11">{html.escape(label)}</text>'
+        )
+
+    gridlines = "".join(
+        f'<line x1="{pad}" y1="{(height - pad) - (height - 2 * pad) * f:.1f}" '
+        f'x2="{width - pad}" y2="{(height - pad) - (height - 2 * pad) * f:.1f}" '
+        f'stroke="{_GRID}" stroke-width="1"/>'
+        f'<text x="{pad - 6}" y="{(height - pad) - (height - 2 * pad) * f + 4:.1f}" '
+        f'text-anchor="end" font-size="10" fill="#52514e">'
+        f"{_fmt_bytes(hi * f)}</text>"
+        for f in (0.0, 0.5, 1.0)
+    )
+    chart = (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="peak memoized-value bytes per ALS iteration">'
+        + gridlines
+        + line(predicted, _SERIES_2, "predicted")
+        + line(measured, _SERIES_1, "measured")
+        + f'<text x="{width // 2}" y="{height - 6}" text-anchor="middle" '
+        f'font-size="10" fill="#52514e">ALS iteration</text>'
+        "</svg>"
+    )
+    legend = (
+        '<p class="legend">peak memoized-value bytes per iteration &mdash;'
+        f'<span class="swatch" style="background:{_SERIES_1}"></span>measured'
+        f'<span class="swatch" style="background:{_SERIES_2}"></span>'
+        "predicted (cost model)</p>"
+    )
+    return legend + chart
+
+
+def _memory_table(readings: list[dict]) -> str:
+    if not readings:
+        return "<p class='meta'>(no memory readings; run under " \
+               "<code>repro trace</code> or enable repro.obs.memory)</p>"
+    rows = []
+    for r in readings:
+        ratio = r.get("ratio")
+        ratio_cell = f"{ratio:.4f}" if ratio is not None else "-"
+        rows.append(
+            "<tr>"
+            f'<td class="num">{r.get("iteration", "-")}</td>'
+            f'<td class="num">{_fmt_bytes(r.get("measured_peak_bytes"))}</td>'
+            f'<td class="num">{_fmt_bytes(r.get("predicted_peak_bytes"))}</td>'
+            f'<td class="num">{ratio_cell}</td>'
+            f'<td class="num">{_fmt_bytes(r.get("workspace_bytes"))}</td>'
+            f'<td class="num">{_fmt_bytes(r.get("factor_bytes"))}</td>'
+            f'<td class="num">{_fmt_bytes(r.get("traced_peak_bytes"))}</td>'
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>iter</th><th>measured peak</th>"
+        "<th>predicted peak</th><th>ratio</th><th>workspace</th>"
+        "<th>factors</th><th>tracemalloc peak</th></tr></thead><tbody>"
+        + "".join(rows) + "</tbody></table>"
+    )
+
+
+def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
+                     diffs: list[DiffResult] | None = None,
+                     memory_readings: list[dict] | None = None,
+                     trace_summary: str | None = None,
+                     kind_table_text: str | None = None,
+                     title: str = "repro dashboard") -> str:
+    """Assemble the full self-contained HTML document (returns the string)."""
+    info = build_info()
+    parts = [
+        "<!doctype html><html lang='en'><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class='meta'>repro {html.escape(str(info['version']))} "
+        f"&middot; git {html.escape(str(info['git_rev']))} &middot; "
+        f"python {html.escape(str(info['python']))} / "
+        f"numpy {html.escape(str(info['numpy']))}</p>",
+        "<h2>Benchmark history</h2>",
+        _history_section(history_entries or [], diffs),
+    ]
+    parts.append("<h2>Memory: measured vs predicted</h2>")
+    parts.append(_memory_chart(memory_readings or []))
+    parts.append(_memory_table(memory_readings or []))
+    if kind_table_text:
+        parts.append("<h2>Trace: per-kind aggregates</h2>")
+        parts.append(f"<pre>{html.escape(kind_table_text)}</pre>")
+    if trace_summary:
+        parts.append("<h2>Trace: span tree</h2>")
+        parts.append(f"<pre>{html.escape(trace_summary)}</pre>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(path: str, **kwargs) -> str:
+    """Render and write the dashboard; returns the output path."""
+    doc = render_dashboard(**kwargs)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(doc)
+    return path
+
+
+def load_memory_json(path: str) -> list[dict]:
+    """Read the ``memory.json`` written by ``repro trace`` (readings list)."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict):
+        return list(doc.get("readings", []))
+    return list(doc)

@@ -41,8 +41,15 @@ def _span_name(rec: SpanRecord) -> str:
 def to_chrome_trace(
     spans: Sequence[SpanRecord] | None = None,
     tracer: Tracer | None = None,
+    mem_samples: Sequence | None = None,
 ) -> dict:
-    """Spans as a Chrome ``trace_event`` JSON object (dict, not string)."""
+    """Spans as a Chrome ``trace_event`` JSON object (dict, not string).
+
+    ``mem_samples`` (e.g. ``repro.obs.memory.get_tracker().samples``) adds
+    a counter track (``"ph": "C"``) of total live memoized-value bytes, so
+    the memory profile renders as a graph under the span timeline in
+    ``chrome://tracing`` / Perfetto.
+    """
     tracer = tracer or get_tracer()
     if spans is None:
         spans = tracer.finished()
@@ -72,6 +79,15 @@ def to_chrome_trace(
             "tid": tid,
             "args": {"name": "engine" if tid == 1 else f"worker-{tid - 1}"},
         })
+    for sample in mem_samples or ():
+        events.append({
+            "name": "memoized_value_bytes",
+            "ph": "C",
+            "ts": sample.t * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "args": {"live_bytes": sample.live_bytes},
+        })
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -84,9 +100,10 @@ def to_chrome_trace(
 
 
 def write_chrome_trace(path: str, spans: Sequence[SpanRecord] | None = None,
-                       tracer: Tracer | None = None) -> dict:
+                       tracer: Tracer | None = None,
+                       mem_samples: Sequence | None = None) -> dict:
     """Write the Chrome trace JSON to ``path``; returns the document."""
-    doc = to_chrome_trace(spans, tracer)
+    doc = to_chrome_trace(spans, tracer, mem_samples)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=1)
         fh.write("\n")
@@ -119,8 +136,10 @@ def validate_chrome_trace(doc: object) -> list[str]:
             if key not in ev:
                 errors.append(f"{where}: missing {key!r}")
         ph = ev.get("ph")
-        if ph not in ("X", "M", "i"):
+        if ph not in ("X", "M", "i", "C"):
             errors.append(f"{where}: unknown phase {ph!r}")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            errors.append(f"{where}: counter event needs args")
         for key in ("ts", "dur"):
             if key in ev and (
                 not isinstance(ev[key], (int, float)) or ev[key] < 0

@@ -99,6 +99,17 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = float(value)
 
+    def set_max_gauge(self, name: str, value: float) -> None:
+        """High-watermark gauge: keeps the maximum value ever set.
+
+        Used for peaks (``mem.peak_bytes``) where the last value is less
+        interesting than the worst one.
+        """
+        value = float(value)
+        with self._lock:
+            if value > self._gauges.get(name, float("-inf")):
+                self._gauges[name] = value
+
     def incr(self, name: str, value: int = 1) -> None:
         with self._lock:
             self._events[name] = self._events.get(name, 0) + value

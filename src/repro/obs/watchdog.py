@@ -19,6 +19,15 @@ CP-ALS iteration, along two axes:
   baseline measured/predicted ratio, and later iterations fire only when
   the ratio diverges from that baseline by more than the band.  Short
   predictions (where timer noise dominates) are skipped.
+* **memory drift** — measured peak memoized-value bytes (a
+  :class:`repro.obs.memory.MemReading` from the engine-fed tracker)
+  versus the model's ``peak_value_bytes``.  Symbolic byte counts are
+  exact by construction, so the band is *exact* (ratio must be 1.0);
+  cold-start iterations, where the cache has not yet reached the steady
+  schedule, are skipped via ``mem_warmup``.  The tracemalloc series —
+  what the allocator actually holds, including index structures and
+  workspace — only gets a wide tolerance band against the model's total
+  memory: it fires on runaway allocator overhead, not on noise.
 
 A reading outside its band emits a structured :class:`ModelDriftWarning`
 (fields, not just a string), a ``repro.obs.watchdog`` log record, and
@@ -72,6 +81,13 @@ class DriftReading:
     measured_seconds: float
     predicted_seconds: float
     fired: list[str] = field(default_factory=list)
+    #: measured/predicted peak memoized-value bytes (None without a tracker
+    #: or during the cold-start ``mem_warmup`` iterations).
+    mem_ratio: float | None = None
+    #: tracemalloc peak / model total memory (None without sampling).
+    mem_traced_ratio: float | None = None
+    measured_peak_bytes: int | None = None
+    predicted_peak_bytes: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -99,6 +115,19 @@ class DriftWatchdog:
     min_predicted_seconds:
         skip the time comparison entirely when the model predicts less
         than this (timer noise regime).
+    mem_band:
+        allowed measured/predicted ratio for peak memoized-value bytes.
+        *Exact* by default — symbolic byte counts are deterministic
+        integers, so any deviation is a real accounting bug.
+    mem_warmup:
+        iterations skipped before the memory comparison starts: the first
+        iteration builds the cache from cold, so its peak legitimately
+        undershoots the steady-state prediction.
+    mem_traced_band:
+        tolerance band for the tracemalloc peak relative to the model's
+        ``total_memory_bytes`` (values + index structures).  Wide by
+        default: tracemalloc sees every allocation in the process, so
+        this only flags runaway allocator overhead.
     warn:
         emit :class:`ModelDriftWarning` + log records on excursions
         (metrics gauges are recorded either way).
@@ -109,20 +138,31 @@ class DriftWatchdog:
                  time_band: tuple[float, float] = (0.33, 3.0),
                  time_warmup: int = 2,
                  min_predicted_seconds: float = 1e-4,
+                 mem_band: tuple[float, float] = (1.0, 1.0),
+                 mem_warmup: int = 1,
+                 mem_traced_band: tuple[float, float] = (0.0, 8.0),
                  warn: bool = True):
         self.cost = cost
         self.work_band = work_band
         self.time_band = time_band
         self.time_warmup = max(int(time_warmup), 1)
         self.min_predicted_seconds = min_predicted_seconds
+        self.mem_band = mem_band
+        self.mem_warmup = max(int(mem_warmup), 0)
+        self.mem_traced_band = mem_traced_band
         self.warn = warn
         self.readings: list[DriftReading] = []
         self._warmup_ratios: list[float] = []
         self.time_baseline: float | None = None
 
     def observe(self, iteration: int, counters: Counters,
-                seconds: float) -> DriftReading:
-        """Compare one iteration's measurements against the model."""
+                seconds: float, mem=None) -> DriftReading:
+        """Compare one iteration's measurements against the model.
+
+        ``mem`` is an optional :class:`repro.obs.memory.MemReading` for
+        the same iteration; when given (and past ``mem_warmup``) the
+        measured peak joins the banded checks.
+        """
         cost = self.cost
         flops_ratio = _ratio(counters.flops, cost.flops_per_iteration)
         words_ratio = _ratio(counters.words, cost.words_per_iteration)
@@ -135,6 +175,15 @@ class DriftWatchdog:
                     self.time_baseline = _median(self._warmup_ratios)
             else:
                 time_rel = time_ratio / self.time_baseline
+        mem_ratio = mem_traced_ratio = None
+        if mem is not None and iteration >= self.mem_warmup:
+            if cost.peak_value_bytes > 0:
+                mem_ratio = _ratio(mem.measured_peak_bytes,
+                                   cost.peak_value_bytes)
+            if (mem.traced_peak_bytes is not None
+                    and cost.total_memory_bytes > 0):
+                mem_traced_ratio = _ratio(mem.traced_peak_bytes,
+                                          cost.total_memory_bytes)
         reading = DriftReading(
             iteration=iteration,
             flops_ratio=flops_ratio,
@@ -143,6 +192,12 @@ class DriftWatchdog:
             time_rel=time_rel,
             measured_seconds=seconds,
             predicted_seconds=cost.predicted_seconds,
+            mem_ratio=mem_ratio,
+            mem_traced_ratio=mem_traced_ratio,
+            measured_peak_bytes=(
+                mem.measured_peak_bytes if mem is not None else None
+            ),
+            predicted_peak_bytes=cost.peak_value_bytes,
         )
         checks = [
             ("flops", flops_ratio, self.work_band),
@@ -152,6 +207,11 @@ class DriftWatchdog:
             _metrics.set_gauge("drift.time_ratio", time_ratio)
         if time_rel is not None:
             checks.append(("time", time_rel, self.time_band))
+        if mem_ratio is not None:
+            checks.append(("mem", mem_ratio, self.mem_band))
+        if mem_traced_ratio is not None:
+            checks.append(("mem_traced", mem_traced_ratio,
+                           self.mem_traced_band))
         for metric, ratio, band in checks:
             _metrics.set_gauge(f"drift.{metric}_ratio"
                                if metric != "time" else "drift.time_rel",

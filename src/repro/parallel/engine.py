@@ -21,6 +21,7 @@ from ..core.coo import CooTensor
 from ..core.dtypes import VALUE_DTYPE
 from ..core.engine import MemoizedMttkrp, contraction_work
 from ..kernels import get_kernel
+from ..obs import memory as _mem
 from ..obs import trace as _trace
 from ..perf import counters as perf
 from .pool import WorkerPool
@@ -58,6 +59,10 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
     def close(self) -> None:
         if self._own_pool:
             self.pool.close()
+        if _mem.enabled():
+            # Pool engines are commonly short-lived context managers; drop
+            # their entries so the tracker's live total reflects reality.
+            _mem.get_tracker().release_engine(id(self))
 
     def __enter__(self) -> "ParallelMemoizedMttkrp":
         return self
@@ -104,4 +109,9 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
             flops=flops, words=words,
             contractions=len(sym.delta_modes), node_builds=1,
         )
+        if _trace.enabled():
+            # Chunked rebuilds grow per-worker arena buffers; refresh the
+            # workspace gauge here so the peak is visible even between
+            # mttkrp span boundaries.
+            self._publish_memory_gauges()
         return out

@@ -12,6 +12,7 @@ from repro.core.engine import MemoizedMttkrp
 from repro.core.strategy import balanced_binary
 from repro.model.cost import cost_from_symbolic
 from repro.obs import export, metrics, trace
+from repro.obs import memory as obs_memory
 from repro.obs.buildinfo import (artifact_envelope, build_info,
                                  version_string)
 from repro.obs.metrics import registry
@@ -26,10 +27,14 @@ def clean_obs_state():
     """Every test starts and ends with tracing off and empty global state."""
     trace.disable()
     trace.get_tracer().clear()
+    obs_memory.disable()
+    obs_memory.get_tracker().reset()
     registry.reset()
     yield
     trace.disable()
     trace.get_tracer().clear()
+    obs_memory.disable()
+    obs_memory.get_tracker().reset()
     registry.reset()
 
 
@@ -354,3 +359,257 @@ class TestMetricsRegistry:
         stats = metrics()["spans"]["k"]
         assert stats["count"] == 2
         assert sum(stats["log2_buckets"].values()) == 2
+
+
+class TestMemTracker:
+    def test_disabled_by_default(self):
+        assert not obs_memory.enabled()
+        engine = small_engine()
+        engine.mttkrp(0)
+        assert obs_memory.get_tracker().n_stores == 0
+
+    def test_store_free_accounting(self):
+        t = obs_memory.MemTracker()
+        t.on_store(1, 0, 100)
+        t.on_store(1, 1, 50)
+        assert t.live_bytes == 150 and t.peak_bytes == 150
+        t.on_free(1, 0)
+        assert t.live_bytes == 50
+        t.on_free(1, 7)  # unknown node: no-op, never negative
+        assert t.live_bytes == 50 and t.n_frees == 1
+        t.on_store(1, 0, 200)  # re-store after free
+        assert t.peak_bytes == 250
+
+    def test_restore_same_node_replaces(self):
+        t = obs_memory.MemTracker()
+        t.on_store(1, 0, 100)
+        t.on_store(1, 0, 120)  # rebuild of a cached node replaces, not adds
+        assert t.live_bytes == 120
+
+    def test_engine_keys_do_not_collide(self):
+        t = obs_memory.MemTracker()
+        t.on_store(1, 0, 100)
+        t.on_store(2, 0, 60)
+        assert t.live_bytes == 160
+        t.release_engine(1)
+        assert t.live_bytes == 60
+
+    def test_window_peak(self):
+        t = obs_memory.MemTracker()
+        t.on_store(1, 0, 100)
+        t.on_free(1, 0)
+        t.begin_window()
+        t.on_store(1, 1, 30)
+        t.on_free(1, 1)
+        assert t.window_peak() == 30  # not the pre-window 100
+        r = t.observe_iteration(0, predicted_peak_bytes=30)
+        assert r.measured_peak_bytes == 30 and r.ratio == 1.0
+
+    def test_register_expected_counts_mismatches(self):
+        t = obs_memory.MemTracker()
+        t.register_expected(1, [80, 80])
+        t.on_store(1, 0, 80)
+        t.on_store(1, 1, 99)
+        assert t.n_mismatches == 1
+        assert metrics()["events"]["mem.node_mismatch"] == 1
+
+    def test_engine_feeds_tracker(self):
+        engine = small_engine()
+        obs_memory.enable(clear=True)
+        engine.mttkrp(0)
+        tracker = obs_memory.get_tracker()
+        assert tracker.n_stores > 0
+        assert tracker.live_bytes == engine.live_value_bytes()
+
+    def test_measured_peak_matches_simulation_exactly(self):
+        from repro.model.cost import simulate_peak_value_bytes
+
+        engine = small_engine()
+        node_nnz = engine.symbolic.node_nnz()
+        predicted = simulate_peak_value_bytes(engine.strategy, node_nnz, 4)
+        obs_memory.enable(clear=True)
+        tracker = obs_memory.get_tracker()
+        for i in range(2):
+            tracker.begin_window()
+            for n in engine.mode_order:
+                engine.mttkrp(n)
+                engine.update_factor(n, engine.factors[n])
+            # exact, not approximate: byte-for-byte equality
+            assert tracker.window_peak() == predicted
+
+    def test_concurrent_stores_keep_peak_correct(self):
+        import threading
+
+        t = obs_memory.MemTracker()
+        n_threads, n_ops, nbytes = 4, 300, 10
+        barrier = threading.Barrier(n_threads)
+
+        def worker(tid):
+            barrier.wait()
+            for i in range(n_ops):
+                t.on_store(tid, i, nbytes)
+            for i in range(n_ops):
+                t.on_free(tid, i)
+
+        threads = [threading.Thread(target=worker, args=(k,))
+                   for k in range(n_threads)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert t.live_bytes == 0
+        assert t.n_stores == n_threads * n_ops
+        assert t.n_frees == n_threads * n_ops
+        # peak is at least one thread's full residency and never exceeds
+        # the theoretical all-live maximum
+        assert n_ops * nbytes <= t.peak_bytes <= n_threads * n_ops * nbytes
+
+    def test_parallel_engine_peak_exact(self):
+        from repro.model.cost import simulate_peak_value_bytes
+
+        engine = small_engine(parallel=True, n_workers=2, min_chunk_rows=1)
+        try:
+            node_nnz = engine.symbolic.node_nnz()
+            predicted = simulate_peak_value_bytes(
+                engine.strategy, node_nnz, 4
+            )
+            obs_memory.enable(clear=True)
+            tracker = obs_memory.get_tracker()
+            tracker.begin_window()
+            for n in engine.mode_order:
+                engine.mttkrp(n)
+                engine.update_factor(n, engine.factors[n])
+            assert tracker.window_peak() == predicted
+        finally:
+            engine.close()
+
+    def test_tracking_context_restores_state(self):
+        assert not obs_memory.enabled()
+        with obs_memory.tracking() as t:
+            assert obs_memory.enabled()
+            t.on_store(1, 0, 10)
+        assert not obs_memory.enabled()
+
+    def test_snapshot_roundtrips_to_json(self):
+        with obs_memory.tracking() as t:
+            t.on_store(1, 0, 10)
+            t.begin_window()
+            t.observe_iteration(0, predicted_peak_bytes=10)
+        snap = t.snapshot()
+        json.dumps(snap)
+        assert snap["readings"][0]["measured_peak_bytes"] == 10
+
+
+class TestCpAlsMemory:
+    def _tensor(self):
+        return random_coo(np.random.default_rng(5), (12, 11, 10, 9), 500)
+
+    def test_memory_readings_exact_against_model(self):
+        from repro.model.cost import cost_from_symbolic as _cfs
+
+        t = self._tensor()
+        with obs_memory.tracking():
+            result = cp_als(t, 4, strategy=balanced_binary(4),
+                            n_iter_max=3, tol=0, random_state=0)
+        assert result.memory_readings is not None
+        assert len(result.memory_readings) == 3
+        engine = MemoizedMttkrp(t, balanced_binary(4))
+        expected = _cfs(engine.symbolic, 4).peak_value_bytes
+        for r in result.memory_readings:
+            assert r.predicted_peak_bytes == expected
+        # steady-state iterations (past the cold start) match exactly
+        for r in result.memory_readings[1:]:
+            assert r.measured_peak_bytes == r.predicted_peak_bytes
+            assert r.ratio == 1.0
+
+    def test_no_readings_when_disabled(self):
+        result = cp_als(self._tensor(), 3, strategy="star", n_iter_max=2,
+                        random_state=0)
+        assert result.memory_readings is None
+
+    def test_watchdog_mem_band_quiet_on_exact_match(self):
+        t = self._tensor()
+        trace.enable(clear=True)
+        obs_memory.enable(clear=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ModelDriftWarning)
+            result = cp_als(t, 4, strategy=balanced_binary(4),
+                            n_iter_max=3, tol=0, random_state=0)
+        assert result.drift_readings is not None
+        for r in result.drift_readings[1:]:
+            assert r.mem_ratio == pytest.approx(1.0)
+            assert "mem" not in r.fired
+
+    def test_watchdog_fires_on_memory_drift(self):
+        engine = small_engine()
+        cost = cost_from_symbolic(engine.symbolic, 4)
+        perturbed = dataclasses.replace(
+            cost, peak_value_bytes=cost.peak_value_bytes * 2
+        )
+        dog = DriftWatchdog(perturbed, mem_warmup=0)
+        obs_memory.enable(clear=True)
+        tracker = obs_memory.get_tracker()
+        from repro.perf import counters as perf
+
+        tracker.begin_window()
+        with perf.counting() as c:
+            for n in engine.mode_order:
+                engine.mttkrp(n)
+                engine.update_factor(n, engine.factors[n])
+        reading = tracker.observe_iteration(0)
+        with pytest.warns(ModelDriftWarning, match="mem"):
+            drift = dog.observe(0, c, seconds=0.01, mem=reading)
+        assert "mem" in drift.fired
+        assert drift.mem_ratio == pytest.approx(0.5)
+        assert metrics()["gauges"]["drift.mem_ratio"] == pytest.approx(0.5)
+
+    def test_watchdog_skips_mem_during_warmup(self):
+        engine = small_engine()
+        cost = cost_from_symbolic(engine.symbolic, 4)
+        perturbed = dataclasses.replace(
+            cost, peak_value_bytes=cost.peak_value_bytes * 100
+        )
+        dog = DriftWatchdog(perturbed, mem_warmup=1)
+        tracker = obs_memory.MemTracker()
+        tracker.begin_window()
+        reading = tracker.observe_iteration(0)
+        from repro.perf.counters import Counters
+
+        c = Counters()
+        c.flops = perturbed.flops_per_iteration
+        c.words = perturbed.words_per_iteration
+        drift = dog.observe(0, c, seconds=0.01, mem=reading)
+        assert drift.mem_ratio is None and "mem" not in drift.fired
+
+    def test_chrome_trace_memory_counter_track(self):
+        t = self._tensor()
+        trace.enable(clear=True)
+        obs_memory.enable(clear=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ModelDriftWarning)
+            cp_als(t, 4, strategy=balanced_binary(4), n_iter_max=2,
+                   tol=0, random_state=0)
+        tracker = obs_memory.get_tracker()
+        assert tracker.samples
+        doc = export.to_chrome_trace(mem_samples=tracker.samples)
+        assert export.validate_chrome_trace(doc) == []
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == len(tracker.samples)
+        assert max(e["args"]["live_bytes"] for e in counters) == \
+            tracker.peak_bytes
+
+    def test_gauges_published_at_span_boundaries(self):
+        t = self._tensor()
+        trace.enable(clear=True)
+        obs_memory.enable(clear=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", ModelDriftWarning)
+            cp_als(t, 4, strategy=balanced_binary(4), n_iter_max=2,
+                   tol=0, random_state=0)
+        gauges = metrics()["gauges"]
+        for name in ("mem.live_value_bytes", "mem.live_value_bytes_peak",
+                     "mem.workspace_bytes", "mem.factor_bytes",
+                     "mem.iter_peak_bytes", "mem.peak_bytes"):
+            assert name in gauges, name
+        assert gauges["mem.factor_bytes"] > 0
+        assert gauges["mem.peak_bytes"] == obs_memory.get_tracker().peak_bytes
