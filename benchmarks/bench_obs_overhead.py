@@ -11,7 +11,11 @@ three configurations:
   the model-drift comparison;
 * ``enabled_memtrack`` — spans plus the memoized-value memory tracker
   (store/free events + per-iteration windows), i.e. everything
-  ``repro trace`` turns on except tracemalloc sampling.
+  ``repro trace`` turns on except tracemalloc sampling;
+* ``enabled_events_serve`` — spans plus the structured event log and a
+  live :class:`repro.obs.serve.ObsServer` scraping thread running for
+  the duration, i.e. the full ``repro serve <cmd>`` live-telemetry
+  stack.
 
 Writes ``benchmarks/results/BENCH_obs_overhead.json`` (shared
 ``repro-bench/v1`` envelope) with per-config ms/iteration and overhead
@@ -34,6 +38,7 @@ import numpy as np
 from repro.core.engine import MemoizedMttkrp
 from repro.core.strategy import balanced_binary
 from repro.model.cost import cost_from_symbolic
+from repro.obs import events as obs_events
 from repro.obs import memory as obs_memory
 from repro.obs import trace as obs_trace
 from repro.obs.buildinfo import artifact_envelope
@@ -55,7 +60,8 @@ def _als_iteration(engine: MemoizedMttkrp) -> None:
 
 def _best_iteration_seconds(engine, repeats: int, *,
                             watchdog: DriftWatchdog | None = None,
-                            mem_tracker=None) -> float:
+                            mem_tracker=None,
+                            emit_iteration_events: bool = False) -> float:
     _als_iteration(engine)  # warm: caches, arena, (when tracing) span path
     best = float("inf")
     for i in range(repeats):
@@ -74,6 +80,11 @@ def _best_iteration_seconds(engine, repeats: int, *,
             mem_tracker.observe_iteration(
                 i, workspace_bytes=engine.workspace_nbytes()
             )
+        if emit_iteration_events:
+            # Mirror cp_als's per-iteration event on top of the engine's
+            # own node_rebuild events.
+            obs_events.emit("iteration", iteration=i, fit=0.0,
+                            seconds=seconds)
         best = min(best, seconds)
     return best
 
@@ -115,6 +126,18 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
     mem_events = tracker.n_stores + tracker.n_frees
     obs_memory.disable()
     tracker.reset()
+
+    from repro.obs.serve import ObsServer
+
+    obs_trace.get_tracer().clear()
+    obs_events.enable(clear=True)
+    with ObsServer(port=0):
+        with_events_serve = _best_iteration_seconds(
+            engine, repeats, emit_iteration_events=True
+        )
+    n_events = len(obs_events.get_log())
+    obs_events.disable()
+    obs_events.get_log().clear()
     obs_trace.disable()
     obs_trace.get_tracer().clear()
 
@@ -143,10 +166,15 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
                 "seconds_per_iteration": with_memtrack,
                 "overhead_pct": pct(with_memtrack),
             },
+            "enabled_events_serve": {
+                "seconds_per_iteration": with_events_serve,
+                "overhead_pct": pct(with_events_serve),
+            },
         },
         "spans_per_measured_block": span_count,
         "drift_fired": watchdog.n_fired(),
         "memtrack": {"peak_bytes": mem_peak, "events": mem_events},
+        "events_logged": n_events,
     }
 
 
@@ -161,10 +189,10 @@ def main() -> None:
         json.dump(artifact_envelope("BENCH_obs_overhead", report), fh,
                   indent=2)
         fh.write("\n")
-    lines = [f"{'config':<18s} {'ms/iter':>9s} {'overhead':>9s}"]
+    lines = [f"{'config':<22s} {'ms/iter':>9s} {'overhead':>9s}"]
     for name, run in report["runs"].items():
         lines.append(
-            f"{name:<18s} {run['seconds_per_iteration'] * 1e3:9.1f} "
+            f"{name:<22s} {run['seconds_per_iteration'] * 1e3:9.1f} "
             f"{run['overhead_pct']:8.2f}%"
         )
     with open(base + ".txt", "w") as fh:

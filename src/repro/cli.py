@@ -9,6 +9,8 @@ Usage::
     python -m repro datasets
     python -m repro trace --trace-dir out/ decompose data.tns --rank 16
     python -m repro report out/trace.jsonl
+    python -m repro serve --port 9464 decompose data.tns --rank 16
+    python -m repro tail out/events.jsonl
 
 Tensor inputs are ``.tns``/``.tns.gz`` (FROSTT), ``.npz`` (this library's
 cache format), or a registry dataset name (generated on the fly; use
@@ -19,7 +21,12 @@ tracer, memory tracker, and metrics registry enabled and writes
 ``trace.chrome.json`` (Chrome ``trace_event`` format — load in
 ``chrome://tracing`` or Perfetto, with a live-bytes counter track),
 ``trace.jsonl``, ``memory.json``, ``metrics.json``, and a text summary;
-``repro report`` pretty-prints a saved JSONL trace.  ``repro bench-diff``
+``repro report`` pretty-prints a saved JSONL trace (including per-worker
+pool utilization when the trace has ``pool_task`` spans).  ``repro
+serve`` exposes an OpenMetrics endpoint (``/metrics`` + ``/healthz`` +
+``/runz``) either around a wrapped subcommand or over saved trace
+artifacts; ``repro tail`` renders an ``events.jsonl`` structured event
+log.  ``repro bench-diff``
 compares benchmark history entries against the stored baseline with the
 noise-aware comparator (see ``docs/benchmarking.md``) and exits non-zero
 on regression; ``repro dashboard`` renders history + memory + trace into
@@ -143,9 +150,27 @@ def cmd_decompose(args) -> int:
     else:
         from .core.cpals import cp_als
 
+        engine_factory = None
+        if args.workers is not None and args.workers > 1:
+            # Parallel engine: resolve 'auto' through the planner here,
+            # since engine_factory bypasses cp_als's own planning path.
+            def engine_factory(t, _w=args.workers):
+                from .parallel.engine import ParallelMemoizedMttkrp
+
+                strategy = args.strategy
+                if isinstance(strategy, str) and strategy.lower() == "auto":
+                    from .model.planner import plan
+
+                    strategy = plan(t, args.rank).best.strategy
+                return ParallelMemoizedMttkrp(
+                    t, strategy, n_workers=_w,
+                    min_chunk_rows=args.min_chunk_rows,
+                )
+
         result = cp_als(
             tensor, args.rank, strategy=args.strategy,
             n_iter_max=args.iters, tol=args.tol, random_state=args.seed,
+            engine_factory=engine_factory,
         )
     print(f"strategy   : {result.strategy_name}")
     print(f"iterations : {result.n_iterations} (converged={result.converged})")
@@ -186,6 +211,7 @@ def cmd_complete(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    from .obs import events as obs_events
     from .obs import memory as obs_memory
     from .obs import trace as obs_trace
     from .obs.buildinfo import build_info
@@ -202,15 +228,18 @@ def cmd_trace(args) -> int:
             "trace: missing command to run, e.g. "
             "'repro trace decompose data.tns --rank 16'"
         )
-    if rest[0] in ("trace", "report", "bench-diff", "dashboard"):
+    if rest[0] in ("trace", "report", "bench-diff", "dashboard", "serve",
+                   "tail"):
         raise ValueError(f"trace: cannot trace the {rest[0]!r} command")
     inner = build_parser().parse_args(rest)
     os.makedirs(args.trace_dir, exist_ok=True)
 
     was_enabled = obs_trace.enabled()
     mem_was_enabled = obs_memory.enabled()
+    events_were_enabled = obs_events.enabled()
     obs_trace.enable(clear=True)
     obs_memory.enable(clear=True, sample_tracemalloc=True)
+    obs_events.enable(clear=not events_were_enabled)
     registry.reset()
     t0 = time.perf_counter()
     try:
@@ -221,6 +250,8 @@ def cmd_trace(args) -> int:
             obs_trace.disable()
         if not mem_was_enabled:
             obs_memory.disable()
+        if not events_were_enabled:
+            obs_events.disable()
     elapsed = time.perf_counter() - t0
 
     spans = obs_trace.get_tracer().finished()
@@ -230,8 +261,10 @@ def cmd_trace(args) -> int:
     summary_path = os.path.join(args.trace_dir, "trace_summary.txt")
     metrics_path = os.path.join(args.trace_dir, "metrics.json")
     memory_path = os.path.join(args.trace_dir, "memory.json")
+    events_path = os.path.join(args.trace_dir, "events.jsonl")
     write_chrome_trace(chrome_path, spans, mem_samples=mem.samples)
     write_jsonl(jsonl_path, spans)
+    obs_events.get_log().write_jsonl(events_path)
     with open(summary_path, "w") as fh:
         fh.write(tree_summary(spans) + "\n\n" + kind_table(spans) + "\n")
     import json as _json
@@ -256,21 +289,36 @@ def cmd_trace(args) -> int:
               f"{len(mem.readings)} iteration readings)")
     print(f"\nwrote {chrome_path} (open in chrome://tracing or "
           f"https://ui.perfetto.dev), {jsonl_path}, {memory_path}, "
-          f"{metrics_path}")
+          f"{metrics_path}, {events_path}")
     return rc
 
 
 def cmd_report(args) -> int:
+    from .obs.events import format_event, read_events
     from .obs.export import kind_table, read_jsonl, tree_summary
+    from .obs.utilization import format_utilization, utilization_from_spans
 
     path = args.trace
     if os.path.isdir(path):
         path = os.path.join(path, "trace.jsonl")
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no trace file at {path!r} (run "
+                                "'repro trace <command>' first)")
     spans = read_jsonl(path)
     print(f"{len(spans)} spans from {path}\n")
     print(kind_table(spans))
     print()
     print(tree_summary(spans, max_children=args.max_children))
+    util = utilization_from_spans(spans)
+    if util is not None:
+        print()
+        print(format_utilization(util))
+    events_path = os.path.join(os.path.dirname(path) or ".", "events.jsonl")
+    if os.path.exists(events_path):
+        events = read_events(events_path)
+        print(f"\n{len(events)} events from {events_path} (last 5):")
+        for event in events[-5:]:
+            print("  " + format_event(event))
     metrics_path = os.path.join(os.path.dirname(path) or ".", "metrics.json")
     if os.path.exists(metrics_path):
         import json as _json
@@ -300,7 +348,10 @@ def cmd_bench_diff(args) -> int:
         # No separate run file: the newest run recorded in the history
         # itself is the "current" run, everything before it the baseline.
         if not history:
-            print(f"error: no history at {args.history}", file=sys.stderr)
+            print(f"error: no benchmark history at {args.history} — run a "
+                  "benchmark first (e.g. 'python benchmarks/"
+                  "bench_kernels.py') or pass --history",
+                  file=sys.stderr)
             return 2
         last_run = history[-1].run_id
         current = [e for e in history if e.run_id == last_run]
@@ -317,6 +368,104 @@ def cmd_bench_diff(args) -> int:
     return 1 if any(r.status == "regression" for r in results) else 0
 
 
+def cmd_serve(args) -> int:
+    from .obs import events as obs_events
+    from .obs import memory as obs_memory
+    from .obs import trace as obs_trace
+    from .obs.metrics import registry
+    from .obs.serve import ObsServer, load_trace_dir
+    from .perf import counters as perf_counters
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest.pop(0)
+    if rest and rest[0] in ("trace", "serve", "tail", "report",
+                            "bench-diff", "dashboard"):
+        raise ValueError(f"serve: cannot wrap the {rest[0]!r} command")
+
+    try:
+        server = ObsServer(port=args.port, host=args.host)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if not rest:
+        # Artifact mode: reconstruct metrics/events/run state from a
+        # 'repro trace' output directory, then serve it until killed.
+        loaded = load_trace_dir(args.trace_dir)
+        print(f"loaded {loaded['spans']} spans, {loaded['events']} events, "
+              f"{loaded['gauges']} gauges from {args.trace_dir}")
+        print(f"serving {server.url}/metrics (also /healthz, /runz); "
+              "Ctrl-C to stop")
+        server.serve_forever()
+        return 0
+
+    # Wrap mode: run another subcommand with telemetry on and the
+    # endpoint live for the duration (mirrors 'repro trace' enablement).
+    inner = build_parser().parse_args(rest)
+    was_enabled = obs_trace.enabled()
+    mem_was_enabled = obs_memory.enabled()
+    events_were_enabled = obs_events.enabled()
+    obs_trace.enable(clear=True)
+    obs_memory.enable(clear=True)
+    obs_events.enable(clear=not events_were_enabled)
+    registry.reset()
+    server.start()
+    print(f"serving {server.url}/metrics (also /healthz, /runz) "
+          "for the duration of the command")
+    try:
+        with perf_counters.counting(registry.counters):
+            rc = inner.fn(inner)
+    finally:
+        server.stop()
+        if not was_enabled:
+            obs_trace.disable()
+        if not mem_was_enabled:
+            obs_memory.disable()
+        if not events_were_enabled:
+            obs_events.disable()
+    return rc
+
+
+def cmd_tail(args) -> int:
+    from .obs.events import format_event, read_events, validate_events
+
+    path = args.events
+    if os.path.isdir(path):
+        path = os.path.join(path, "events.jsonl")
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no event log at {path!r} (run with "
+                                "REPRO_EVENTS=1 under 'repro trace', or "
+                                "point REPRO_EVENTS at a sink path)")
+    events = read_events(path)
+    problems = validate_events(events)
+    shown = events if args.n is None else events[-args.n:]
+    for event in shown:
+        print(format_event(event))
+    if problems:
+        print(f"warning: {len(problems)} schema problems "
+              f"(first: {problems[0]})", file=sys.stderr)
+    if not args.follow:
+        return 1 if problems else 0
+    # Follow mode: poll for appended lines (the sink flushes per event).
+    with open(path) as fh:
+        fh.seek(0, os.SEEK_END)
+        try:
+            while True:
+                line = fh.readline()
+                if not line:
+                    time.sleep(args.interval)
+                    continue
+                line = line.strip()
+                if line:
+                    import json as _json
+
+                    print(format_event(_json.loads(line)), flush=True)
+        except KeyboardInterrupt:
+            return 0
+
+
 def cmd_dashboard(args) -> int:
     from .obs.dashboard import load_memory_json, write_dashboard
     from .obs.export import kind_table, read_jsonl, tree_summary
@@ -331,21 +480,36 @@ def cmd_dashboard(args) -> int:
 
     readings: list = []
     kinds = summary = None
+    utilization = None
+    pool_tasks: list[dict] = []
     if args.trace_dir and os.path.isdir(args.trace_dir):
         memory_path = os.path.join(args.trace_dir, "memory.json")
         jsonl_path = os.path.join(args.trace_dir, "trace.jsonl")
         if os.path.exists(memory_path):
             readings = load_memory_json(memory_path)
         if os.path.exists(jsonl_path):
+            from .obs.utilization import utilization_from_spans
+
             spans = read_jsonl(jsonl_path)
             kinds = kind_table(spans)
             summary = tree_summary(spans)
+            utilization = utilization_from_spans(spans)
+            pool_tasks = [
+                {"worker": rec.attrs.get("worker", 0), "t0": rec.t0,
+                 "t1": rec.t1,
+                 "queue_wait": rec.attrs.get("queue_wait", 0.0),
+                 "parent": rec.parent}
+                for rec in spans
+                if rec.kind == "pool_task" and rec.t1 is not None
+            ]
 
     out = write_dashboard(
         args.out,
         history_entries=entries,
         diffs=diffs,
         memory_readings=readings,
+        utilization=utilization,
+        pool_tasks=pool_tasks,
         kind_table_text=kinds,
         trace_summary=summary,
     )
@@ -401,6 +565,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--nonneg", action="store_true",
                    help="nonnegative CP via multiplicative updates")
+    p.add_argument("--workers", type=int, default=None,
+                   help="run CP-ALS on the parallel engine with this many "
+                   "pool workers (default: sequential engine)")
+    p.add_argument("--min-chunk-rows", type=int, default=None,
+                   help="parallel-engine chunking threshold override "
+                   "(lower it to force pool fan-out on small tensors)")
     p.add_argument("--out", default=None, help="write factors to .npz")
     p.set_defaults(fn=cmd_decompose)
 
@@ -429,6 +599,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="the command to trace, e.g. 'decompose data.tns "
                    "--rank 16'")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="OpenMetrics endpoint: scrape a running or saved run",
+        description="Stdlib HTTP exporter with /metrics (OpenMetrics "
+        "text), /healthz, and /runz (JSON run snapshot: iteration, fit, "
+        "ETA).  With a trailing subcommand, runs it with telemetry "
+        "enabled and the endpoint live for the duration ('repro serve "
+        "--port 9464 decompose nips --rank 16'); with no subcommand, "
+        "reconstructs state from a 'repro trace' artifact directory and "
+        "serves it until killed.",
+    )
+    p.add_argument("--port", type=int, default=9464,
+                   help="listen port (default: 9464; 0 = ephemeral)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--trace-dir", default="repro-trace",
+                   help="artifact directory to replay when no subcommand "
+                   "is given (default: ./repro-trace)")
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="optional subcommand to run while serving")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "tail",
+        help="render an events.jsonl log as human-readable lines",
+        description="Pretty-print a structured event log "
+        "(repro-events/v1): one line per event with timestamp, kind, and "
+        "fields.  --follow polls for appended events (the sink flushes "
+        "per event, so a live run streams).  Exits 1 when the log has "
+        "schema problems.",
+    )
+    p.add_argument("events",
+                   help="events.jsonl file (or a trace directory)")
+    p.add_argument("-n", type=int, default=None,
+                   help="only show the last N events")
+    p.add_argument("-f", "--follow", action="store_true",
+                   help="keep polling for appended events (Ctrl-C stops)")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="poll interval for --follow (default: 0.5s)")
+    p.set_defaults(fn=cmd_tail)
 
     p = sub.add_parser(
         "bench-diff",

@@ -19,6 +19,7 @@ from ..linalg.gram import GramCache
 from ..linalg.innerprod import innerprod_from_mttkrp
 from ..linalg.norms import normalize_columns
 from ..linalg.solve import solve_normal_equations
+from ..obs import events as _obs_events
 from ..obs import memory as _obs_mem
 from ..obs import trace as _obs
 from ..perf import counters as perf
@@ -214,6 +215,13 @@ def cp_als(
             )
         mem_readings = []
 
+    if _obs_events.enabled():
+        _obs_events.emit(
+            "run_start", shape=list(tensor.shape), nnz=tensor.nnz,
+            rank=rank, strategy=strategy_name, n_iter_max=n_iter_max,
+            tol=tol,
+        )
+
     mode_order = tuple(engine.mode_order)
     grams = GramCache(engine.factors)
     weights = np.ones(rank, dtype=VALUE_DTYPE)
@@ -279,6 +287,25 @@ def cp_als(
             norm_x, weights, engine.factors, grams, M_last, last
         )
         fits.append(fit)
+        if _obs_events.enabled():
+            fields = {"iteration": iteration, "fit": fit,
+                      "seconds": it_seconds}
+            if len(fits) > 1:
+                fields["delta"] = fits[-1] - fits[-2]
+            if mem_reading is not None:
+                fields["mem_peak_bytes"] = mem_reading.measured_peak_bytes
+                fields["mem_live_bytes"] = mem_reading.live_bytes
+            if watchdog is not None and watchdog.readings:
+                reading = watchdog.readings[-1]
+                fields["drift_flops_ratio"] = reading.flops_ratio
+                fields["drift_words_ratio"] = reading.words_ratio
+                if reading.time_ratio is not None:
+                    fields["drift_time_ratio"] = reading.time_ratio
+                if reading.mem_ratio is not None:
+                    fields["drift_mem_ratio"] = reading.mem_ratio
+                if reading.fired:
+                    fields["drift_fired"] = list(reading.fired)
+            _obs_events.emit("iteration", **fields)
         if callback is not None:
             callback(iteration, fit, KruskalTensor(weights, engine.factors))
         if tol > 0 and iteration > 0 and abs(fits[-1] - fits[-2]) < tol:
@@ -286,6 +313,12 @@ def cp_als(
             break
 
     ktensor = KruskalTensor(weights, engine.factors).normalize()
+    if _obs_events.enabled():
+        _obs_events.emit(
+            "run_stop", n_iterations=len(fits), converged=converged,
+            fit=fits[-1] if fits else None,
+            total_seconds=setup_time + float(np.sum(iter_times)),
+        )
     return CPResult(
         ktensor=ktensor,
         fits=fits,

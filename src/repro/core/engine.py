@@ -13,7 +13,10 @@ from typing import Sequence
 
 import numpy as np
 
+import time
+
 from ..kernels import RebuildContext, WorkspaceArena, get_kernel
+from ..obs import events as _events
 from ..obs import memory as _mem
 from ..obs import trace as _trace
 from ..obs.metrics import registry as _metrics
@@ -291,8 +294,17 @@ class MemoizedMttkrp:
         ctx = self._rebuild_context(node_id)
         if _trace.enabled():
             with _trace.span("node_rebuild", node=node_id,
-                             nnz=ctx.sym.nnz, parent_nnz=ctx.parent_sym.nnz):
+                             nnz=ctx.sym.nnz,
+                             parent_nnz=ctx.parent_sym.nnz) as rec:
                 result = self._kernel.traced_rebuild(ctx)
+            if _events.enabled() and rec is not None:
+                _events.emit("node_rebuild", node=node_id, nnz=ctx.sym.nnz,
+                             seconds=rec.duration)
+        elif _events.enabled():
+            t0 = time.perf_counter()
+            result = self._kernel.rebuild(ctx)
+            _events.emit("node_rebuild", node=node_id, nnz=ctx.sym.nnz,
+                         seconds=time.perf_counter() - t0)
         else:
             result = self._kernel.rebuild(ctx)
         flops, words = contraction_work(

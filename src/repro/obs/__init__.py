@@ -20,7 +20,18 @@ Zero-dependency instrumentation for the engine/kernel/parallel stack:
 * :mod:`repro.obs.history` — append-only benchmark history (JSONL) and
   the noise-aware regression comparator behind ``repro bench-diff``.
 * :mod:`repro.obs.dashboard` — self-contained HTML dashboard (bench
-  sparklines, measured-vs-predicted memory series, trace summaries).
+  sparklines, measured-vs-predicted memory series, trace summaries,
+  worker-utilization lanes).
+* :mod:`repro.obs.events` — structured JSON-lines run-event log
+  (``repro-events/v1``): run start/stop, per-iteration fit/drift/memory,
+  node rebuilds, warnings; ring buffer + optional file sink, enabled via
+  :func:`events.enable` or ``REPRO_EVENTS``.
+* :mod:`repro.obs.serve` — stdlib HTTP OpenMetrics exporter
+  (``/metrics``, ``/healthz``, ``/runz``) over the live registry, event
+  log, and memory tracker; behind ``repro serve``.
+* :mod:`repro.obs.utilization` — per-worker busy/queue-wait/imbalance
+  stats derived from ``pool_task`` spans, surfaced by ``repro report``,
+  the dashboard, and the E8 scaling experiment.
 
 Quickstart::
 
@@ -37,20 +48,27 @@ or, from the shell, ``repro trace decompose data.tns --rank 16``.
 
 from __future__ import annotations
 
-from . import dashboard, export, history, memory, trace
+from . import dashboard, events, export, history, memory, serve, trace
+from . import utilization
 from .buildinfo import build_info, git_revision, version_string
+from .events import EventLog, RunState
 from .history import BenchEntry, BenchHistory, DiffResult, compare
 from .memory import MemReading, MemTracker
 from .metrics import MetricsRegistry, metrics, registry
+from .serve import ObsServer
 from .trace import (SpanRecord, Tracer, disable, enable, enabled,
                     get_tracer, span, tracing)
+from .utilization import UtilizationReport, utilization_from_spans
 
 __all__ = [
     "export", "trace", "watchdog", "memory", "history", "dashboard",
+    "events", "serve", "utilization",
     "SpanRecord", "Tracer", "span", "enabled", "enable", "disable",
     "tracing", "get_tracer",
     "MetricsRegistry", "metrics", "registry",
     "MemReading", "MemTracker",
+    "EventLog", "RunState", "ObsServer",
+    "UtilizationReport", "utilization_from_spans",
     "BenchEntry", "BenchHistory", "DiffResult", "compare",
     "build_info", "git_revision", "version_string",
     "ModelDriftWarning", "DriftWatchdog",

@@ -10,6 +10,10 @@ file a reviewer can open without a server, a JS bundle, or network access:
   :class:`repro.obs.memory.MemReading` list (from a ``memory.json``
   written by ``repro trace`` or passed in directly), plotted as two
   direct-labeled lines plus the full data table;
+* **worker utilization lanes** — one horizontal lane per pool worker,
+  each ``pool_task`` span a rectangle on the shared time axis (rectangles
+  alternate color per fan-out), plus the busy/wait/imbalance tables from
+  :mod:`repro.obs.utilization`;
 * **trace summaries** — the per-kind aggregate table and span tree of a
   saved JSONL trace.
 
@@ -25,6 +29,7 @@ import os
 
 from .buildinfo import build_info
 from .history import BenchEntry, DiffResult
+from .utilization import UtilizationReport
 
 __all__ = ["render_dashboard", "write_dashboard", "load_memory_json"]
 
@@ -249,9 +254,120 @@ def _memory_table(readings: list[dict]) -> str:
     )
 
 
+def _worker_lanes(tasks: list[dict]) -> str:
+    """SVG strip: one lane per pool worker, one rect per ``pool_task``.
+
+    ``tasks`` rows carry ``worker``/``t0``/``t1`` (tracer seconds) and
+    optionally ``queue_wait``/``parent``; rectangles alternate between the
+    two series colors per fan-out (shared ``parent``) so the eye can
+    separate consecutive ``WorkerPool.run`` calls inside a lane.
+    """
+    tasks = [t for t in tasks if t.get("t1") is not None]
+    if not tasks:
+        return ""
+    t_lo = min(t["t0"] for t in tasks)
+    t_hi = max(t["t1"] for t in tasks)
+    span = (t_hi - t_lo) or 1.0
+    workers = sorted({int(t.get("worker", 0)) for t in tasks})
+    width, pad_l, pad_r = 640, 64, 8
+    lane_h, gap, pad_t = 16, 6, 4
+    height = pad_t + len(workers) * (lane_h + gap) + 16
+    lane_y = {w: pad_t + i * (lane_h + gap) for i, w in enumerate(workers)}
+
+    def x(t: float) -> float:
+        return pad_l + (width - pad_l - pad_r) * (t - t_lo) / span
+
+    parts = []
+    for w in workers:
+        y = lane_y[w]
+        parts.append(
+            f'<text x="{pad_l - 8}" y="{y + lane_h - 4}" text-anchor="end" '
+            f'font-size="11" fill="#52514e">worker {w}</text>'
+            f'<rect x="{pad_l}" y="{y}" width="{width - pad_l - pad_r}" '
+            f'height="{lane_h}" fill="{_GRID}" fill-opacity="0.45"/>'
+        )
+    # Stable color index per fan-out, in time order of first task.
+    fanout_idx: dict = {}
+    for t in sorted(tasks, key=lambda t: t["t0"]):
+        fanout_idx.setdefault(t.get("parent"), len(fanout_idx))
+    for t in tasks:
+        y = lane_y[int(t.get("worker", 0))]
+        x0 = x(t["t0"])
+        w_px = max(x(t["t1"]) - x0, 1.0)
+        color = (_SERIES_1, _SERIES_2)[fanout_idx.get(t.get("parent"), 0) % 2]
+        ms = (t["t1"] - t["t0"]) * 1e3
+        wait_ms = float(t.get("queue_wait", 0.0)) * 1e3
+        title = (f'worker {t.get("worker", 0)}: {ms:.3f} ms busy, '
+                 f"{wait_ms:.3f} ms queued")
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y + 1}" width="{w_px:.1f}" '
+            f'height="{lane_h - 2}" rx="2" fill="{color}">'
+            f"<title>{html.escape(title)}</title></rect>"
+        )
+    parts.append(
+        f'<text x="{width - pad_r}" y="{height - 3}" text-anchor="end" '
+        f'font-size="10" fill="#52514e">'
+        f"{span * 1e3:.1f} ms window &middot; {len(tasks)} tasks</text>"
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="per-worker pool task timeline">' + "".join(parts)
+        + "</svg>"
+    )
+
+
+def _utilization_tables(report: UtilizationReport) -> str:
+    """Worker + iteration tables mirroring ``format_utilization``."""
+    rows = []
+    for w in report.workers:
+        rows.append(
+            "<tr>"
+            f'<td class="num">{w.worker}</td>'
+            f'<td class="num">{w.n_tasks}</td>'
+            f'<td class="num">{w.busy_seconds * 1e3:.2f}</td>'
+            f'<td class="num">{w.busy_fraction * 100:.1f}%</td>'
+            f'<td class="num">{w.queue_wait_seconds * 1e3:.2f}</td>'
+            f'<td class="num">{w.queue_wait_max * 1e3:.3f}</td>'
+            "</tr>"
+        )
+    out = (
+        f"<p class='meta'>{report.n_tasks} pool tasks over "
+        f"{report.window_seconds * 1e3:.2f} ms window &middot; "
+        f"mean imbalance {report.mean_imbalance:.3f} (max/mean task "
+        "seconds per fan-out; 1.0 = perfectly balanced)</p>"
+        "<table><thead><tr><th>worker</th><th>tasks</th><th>busy ms</th>"
+        "<th>busy %</th><th>wait ms</th><th>max wait ms</th></tr></thead>"
+        "<tbody>" + "".join(rows) + "</tbody></table>"
+    )
+    if report.iterations:
+        rows = []
+        for it in report.iterations:
+            rows.append(
+                "<tr>"
+                f'<td class="num">{it.iteration}</td>'
+                f'<td class="num">{it.wall_seconds * 1e3:.2f}</td>'
+                f'<td class="num">{it.n_tasks}</td>'
+                f'<td class="num">{it.busy_seconds * 1e3:.2f}</td>'
+                f'<td class="num">{it.queue_wait_seconds * 1e3:.2f}</td>'
+                f'<td class="num">{it.imbalance:.3f}</td>'
+                f'<td class="num">{it.worst_imbalance:.3f}</td>'
+                "</tr>"
+            )
+        out += (
+            "<table><thead><tr><th>iter</th><th>wall ms</th><th>tasks</th>"
+            "<th>busy ms</th><th>wait ms</th><th>imbalance</th>"
+            "<th>worst</th></tr></thead><tbody>"
+            + "".join(rows) + "</tbody></table>"
+        )
+    return out
+
+
 def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      diffs: list[DiffResult] | None = None,
                      memory_readings: list[dict] | None = None,
+                     utilization: UtilizationReport | None = None,
+                     pool_tasks: list[dict] | None = None,
                      trace_summary: str | None = None,
                      kind_table_text: str | None = None,
                      title: str = "repro dashboard") -> str:
@@ -272,6 +388,18 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
     parts.append("<h2>Memory: measured vs predicted</h2>")
     parts.append(_memory_chart(memory_readings or []))
     parts.append(_memory_table(memory_readings or []))
+    if utilization is not None or pool_tasks:
+        parts.append("<h2>Worker utilization</h2>")
+        lanes = _worker_lanes(pool_tasks or [])
+        if lanes:
+            parts.append(
+                '<p class="legend">pool task timeline, one lane per '
+                "worker &mdash; rectangle color alternates per fan-out"
+                "</p>"
+            )
+            parts.append(lanes)
+        if utilization is not None:
+            parts.append(_utilization_tables(utilization))
     if kind_table_text:
         parts.append("<h2>Trace: per-kind aggregates</h2>")
         parts.append(f"<pre>{html.escape(kind_table_text)}</pre>")

@@ -28,6 +28,7 @@ sparklines.  See ``docs/benchmarking.md``.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import uuid
 from dataclasses import dataclass, field
@@ -122,6 +123,9 @@ class BenchHistory:
 
     def __init__(self, path: str):
         self.path = str(path)
+        #: malformed lines skipped by the last :meth:`entries` call (e.g.
+        #: the truncated final line of a killed run).
+        self.n_skipped = 0
 
     def append(self, entry: BenchEntry) -> BenchEntry:
         parent = os.path.dirname(self.path)
@@ -137,15 +141,30 @@ class BenchHistory:
         return self.append(make_entry(bench_id, value, unit=unit, **extra))
 
     def entries(self) -> list[BenchEntry]:
-        """All stored entries in file (= chronological append) order."""
+        """All stored entries in file (= chronological append) order.
+
+        Malformed lines — most commonly the truncated last line of a run
+        that was killed mid-append — are skipped with a logged warning
+        rather than poisoning every consumer of the whole file; the skip
+        count is kept on :attr:`n_skipped`.
+        """
+        self.n_skipped = 0
         if not os.path.exists(self.path):
             return []
         out: list[BenchEntry] = []
         with open(self.path) as fh:
-            for line in fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     out.append(BenchEntry.from_dict(json.loads(line)))
+                except (ValueError, KeyError, TypeError) as exc:
+                    self.n_skipped += 1
+                    logging.getLogger("repro.obs.history").warning(
+                        "skipping malformed history line %s:%d (%s)",
+                        self.path, lineno, exc,
+                    )
         return out
 
     def bench_ids(self) -> list[str]:

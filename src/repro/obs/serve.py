@@ -1,0 +1,385 @@
+"""OpenMetrics/Prometheus endpoint over the live metrics registry.
+
+Production systems are *scraped*, not inspected after exit.  This module
+turns the process-wide observability state — span histograms from
+:mod:`repro.obs.metrics`, live memoized-value bytes from
+:mod:`repro.obs.memory`, the current-run fold from
+:mod:`repro.obs.events` — into a tiny stdlib :mod:`http.server` exporter:
+
+* ``/metrics`` — OpenMetrics text (Prometheus-compatible): every counter
+  and gauge in the registry, per-kind span latency histograms (the log2
+  buckets rendered as cumulative ``le`` buckets), the memory tracker's
+  live bytes, and the current-run gauges (iteration, fit, ETA);
+* ``/healthz`` — liveness probe, always ``ok``;
+* ``/runz`` — JSON snapshot of the current CP-ALS run (iteration, fit,
+  trailing rate, ETA) plus the most recent events.
+
+Two ways to use it: **live**, started by ``repro serve --port P <cmd>``
+or ``python -m repro.experiments --serve`` next to a running
+decomposition; or **replay**, where :func:`load_trace_dir` reconstructs
+registry/event/run state from a ``repro trace`` artifact directory so a
+finished run can still be scraped (CI smoke-tests the endpoint this way).
+
+No dependencies beyond the standard library; the server threads only ever
+*read* snapshots, so scraping never blocks the numeric work.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from . import events as _events
+from . import memory as _memory
+from .metrics import registry as _registry
+
+__all__ = [
+    "OPENMETRICS_CONTENT_TYPE", "render_openmetrics",
+    "validate_openmetrics", "ObsServer", "load_trace_dir",
+]
+
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_BUCKET_KEY = re.compile(r"^<=2\^(-?\d+)s$")
+#: one sample line: name{labels} value  (labels optional, value a float).
+_SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+( \d+(\.\d+)?)?$"
+)
+
+
+def _metric_name(name: str) -> str:
+    """Registry name -> OpenMetrics name: ``mem.peak_bytes`` ->
+    ``repro_mem_peak_bytes``."""
+    return "repro_" + _NAME_OK.sub("_", name)
+
+
+def _fmt(value) -> str:
+    """Sample-value rendering: integers stay integral, floats use repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return {float("inf"): "+Inf", float("-inf"): "-Inf"}.get(value, "NaN")
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_span_histograms(spans: dict, out: list[str]) -> None:
+    """SpanStats snapshots -> one labelled OpenMetrics histogram family.
+
+    ``log2_buckets`` keys are ``<=2^{exp}s`` counts per bucket (the last
+    exponent is the overflow bucket); OpenMetrics wants *cumulative*
+    counts with explicit ``le`` upper bounds ending at ``+Inf``.
+    """
+    if not spans:
+        return
+    out.append("# TYPE repro_span_duration_seconds histogram")
+    out.append("# HELP repro_span_duration_seconds wall time per span kind")
+    for kind in sorted(spans):
+        stats = spans[kind]
+        label = f'kind="{_escape_label(kind)}"'
+        buckets = []
+        for key, n in stats.get("log2_buckets", {}).items():
+            m = _BUCKET_KEY.match(key)
+            if m:
+                buckets.append((int(m.group(1)), int(n)))
+        buckets.sort()
+        cum = 0
+        for exp, n in buckets:
+            cum += n
+            out.append(
+                f"repro_span_duration_seconds_bucket{{{label},"
+                f'le="{_fmt(2.0 ** exp)}"}} {cum}'
+            )
+        count = int(stats.get("count", cum))
+        out.append(
+            f'repro_span_duration_seconds_bucket{{{label},le="+Inf"}} '
+            f"{count}"
+        )
+        out.append(f"repro_span_duration_seconds_count{{{label}}} {count}")
+        out.append(
+            f"repro_span_duration_seconds_sum{{{label}}} "
+            f"{_fmt(float(stats.get('total_seconds', 0.0)))}"
+        )
+
+
+def render_openmetrics(snapshot: dict | None = None,
+                       run: dict | None = None,
+                       live_bytes: int | None = None) -> str:
+    """Render the registry (+ run state + mem tracker) as OpenMetrics text.
+
+    All arguments default to the live process-global state; pass explicit
+    snapshots to render saved artifacts.
+    """
+    if snapshot is None:
+        snapshot = _registry.snapshot()
+    if run is None:
+        run = _events.get_log().run.to_dict()
+    if live_bytes is None:
+        live_bytes = _memory.get_tracker().live_bytes
+    out: list[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(f"counter.{name}")
+        out.append(f"# TYPE {metric} counter")
+        out.append(f"{metric}_total {_fmt(value)}")
+    for name, value in sorted(snapshot.get("events", {}).items()):
+        metric = _metric_name(name)
+        out.append(f"# TYPE {metric} counter")
+        out.append(f"{metric}_total {_fmt(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name)
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {_fmt(value)}")
+
+    out.append("# TYPE repro_memtracker_live_bytes gauge")
+    out.append("# HELP repro_memtracker_live_bytes live memoized-value bytes")
+    out.append(f"repro_memtracker_live_bytes {_fmt(int(live_bytes))}")
+
+    run_gauges = {
+        "repro_run_active": 1 if run.get("active") else 0,
+        "repro_run_iteration": run.get("iteration"),
+        "repro_run_fit": run.get("fit"),
+        "repro_run_seconds_per_iteration": run.get("seconds_per_iteration"),
+        "repro_run_eta_seconds": run.get("eta_seconds"),
+    }
+    for metric, value in run_gauges.items():
+        if value is None:
+            continue
+        out.append(f"# TYPE {metric} gauge")
+        out.append(f"{metric} {_fmt(value)}")
+
+    _render_span_histograms(snapshot.get("spans", {}), out)
+    out.append("# EOF")
+    return "\n".join(out) + "\n"
+
+
+def validate_openmetrics(text: str) -> list[str]:
+    """Format errors (empty = valid) for an OpenMetrics exposition.
+
+    Checks the structural rules a scraper relies on: a final ``# EOF``,
+    a ``# TYPE`` declaration (exactly one) preceding every sample of a
+    family, sample lines that parse, counter samples using the ``_total``
+    suffix, and histograms ending their bucket series at ``le="+Inf"``.
+    """
+    errors: list[str] = []
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        errors.append("missing terminal '# EOF' line")
+    types: dict[str, str] = {}
+    histogram_inf: dict[str, bool] = {}
+    for i, line in enumerate(lines):
+        where = f"line {i + 1}"
+        if not line:
+            errors.append(f"{where}: empty line")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"{where}: malformed TYPE line")
+                    continue
+                name, mtype = parts[2], parts[3]
+                if name in types:
+                    errors.append(f"{where}: duplicate TYPE for {name}")
+                types[name] = mtype
+                if mtype == "histogram":
+                    histogram_inf[name] = False
+            continue
+        if not _SAMPLE_LINE.match(line):
+            errors.append(f"{where}: unparseable sample: {line!r}")
+            continue
+        sample = line.split("{", 1)[0].split(" ", 1)[0]
+        family = sample
+        for suffix in ("_total", "_bucket", "_count", "_sum", "_created"):
+            if sample.endswith(suffix) and sample[: -len(suffix)] in types:
+                family = sample[: -len(suffix)]
+                break
+        mtype = types.get(family)
+        if mtype is None:
+            errors.append(f"{where}: sample {sample!r} has no TYPE")
+            continue
+        if mtype == "counter" and not sample.endswith(
+                ("_total", "_created")):
+            errors.append(f"{where}: counter sample {sample!r} "
+                          "missing _total suffix")
+        if mtype == "histogram" and sample.endswith("_bucket") \
+                and 'le="+Inf"' in line:
+            histogram_inf[family] = True
+    for name, seen in histogram_inf.items():
+        if not seen:
+            errors.append(f"histogram {name} has no le=\"+Inf\" bucket")
+    return errors
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes: /metrics (OpenMetrics), /healthz, /runz (JSON)."""
+
+    server_version = "repro-obs/1"
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_openmetrics().encode()
+            self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+        elif path == "/runz":
+            log = _events.get_log()
+            doc = {
+                "run": log.run.to_dict(),
+                "events": {
+                    "buffered": len(log),
+                    "dropped": log.n_dropped,
+                    "sink": log.sink_path,
+                },
+                "last_events": log.tail(20),
+            }
+            body = (json.dumps(doc, indent=2) + "\n").encode()
+            self._reply(200, "application/json; charset=utf-8", body)
+        else:
+            self._reply(404, "text/plain; charset=utf-8", b"not found\n")
+
+    def _reply(self, status: int, ctype: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):  # quiet by default
+        import logging
+
+        logging.getLogger("repro.obs.serve").debug(
+            "%s %s", self.address_string(), fmt % args
+        )
+
+
+class ObsServer:
+    """Threaded HTTP exporter; binds at construction (raising ``OSError``
+    immediately on an occupied port), serves from a daemon thread."""
+
+    def __init__(self, port: int = 9464, host: str = "127.0.0.1"):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` ephemeral binds)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ObsServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-obs-serve", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (Ctrl-C to stop)."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            self._httpd.server_close()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def load_trace_dir(trace_dir: str) -> dict:
+    """Reconstruct live state from a ``repro trace`` artifact directory.
+
+    Replays ``trace.jsonl`` spans into the registry's span histograms (and
+    derives the pool utilization gauges), restores ``metrics.json`` gauges
+    / counters / event counts, and feeds ``events.jsonl`` back into the
+    event log so ``/runz`` reflects the recorded run.  Returns a summary
+    of what was loaded; raises ``FileNotFoundError`` when the directory
+    has none of the expected artifacts.
+    """
+    import os
+
+    from .export import read_jsonl
+    from .utilization import utilization_from_spans
+
+    loaded = {"spans": 0, "events": 0, "gauges": 0, "counters": 0}
+    found = False
+
+    jsonl_path = os.path.join(trace_dir, "trace.jsonl")
+    if os.path.exists(jsonl_path):
+        found = True
+        spans = read_jsonl(jsonl_path)
+        for rec in spans:
+            if rec.t1 is not None:
+                _registry.observe_span(rec.kind, rec.duration)
+        loaded["spans"] = len(spans)
+        util = utilization_from_spans(spans)
+        if util is not None:
+            _registry.set_gauge("pool.imbalance", util.mean_imbalance)
+            _registry.set_gauge("pool.busy_seconds", util.busy_seconds)
+            _registry.set_gauge("pool.n_workers", len(util.workers))
+
+    metrics_path = os.path.join(trace_dir, "metrics.json")
+    if os.path.exists(metrics_path):
+        found = True
+        with open(metrics_path) as fh:
+            snap = json.load(fh).get("metrics", {})
+        for name, value in snap.get("gauges", {}).items():
+            _registry.set_gauge(name, value)
+            loaded["gauges"] += 1
+        for name, value in snap.get("events", {}).items():
+            _registry.incr(name, int(value))
+        counters = _registry.counters
+        for name, value in snap.get("counters", {}).items():
+            if hasattr(counters, name) and name != "extra":
+                setattr(counters, name, value)
+            else:
+                counters.extra[name] = value
+            loaded["counters"] += 1
+
+    events_path = os.path.join(trace_dir, "events.jsonl")
+    if os.path.exists(events_path):
+        found = True
+        log = _events.get_log()
+        loaded["events"] = log.replay(_events.read_events(events_path))
+
+    if not found:
+        raise FileNotFoundError(
+            f"no trace artifacts (trace.jsonl / metrics.json / "
+            f"events.jsonl) in {trace_dir!r}"
+        )
+    return loaded

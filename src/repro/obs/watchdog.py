@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from ..model.cost import CostReport
 from ..perf.counters import Counters
+from . import events as _events
 from .metrics import registry as _metrics
 
 __all__ = ["ModelDriftWarning", "DriftReading", "DriftWatchdog"]
@@ -219,6 +220,14 @@ class DriftWatchdog:
             if not band[0] <= ratio <= band[1]:
                 reading.fired.append(metric)
                 _metrics.incr("drift.warnings")
+                _events.emit(
+                    "warning",
+                    message=f"model drift on {metric!r}: ratio "
+                            f"{ratio:.3f} outside band "
+                            f"[{band[0]:.2f}, {band[1]:.2f}]",
+                    metric=metric, ratio=ratio, iteration=iteration,
+                    strategy=cost.strategy.name,
+                )
                 if self.warn:
                     w = ModelDriftWarning(
                         metric, ratio, band, iteration,

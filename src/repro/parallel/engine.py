@@ -20,7 +20,10 @@ import numpy as np
 from ..core.coo import CooTensor
 from ..core.dtypes import VALUE_DTYPE
 from ..core.engine import MemoizedMttkrp, contraction_work
+import time
+
 from ..kernels import get_kernel
+from ..obs import events as _events
 from ..obs import memory as _mem
 from ..obs import trace as _trace
 from ..perf import counters as perf
@@ -93,10 +96,22 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
 
             with _trace.span("node_rebuild", node=node_id, nnz=sym.nnz,
                              parent_nnz=ctx.parent_sym.nnz,
-                             chunks=len(chunks)):
+                             chunks=len(chunks)) as rec:
                 self.pool.run([
                     (lambda s=s, g=g: chunk_fn(s, g)) for s, g in chunks
                 ])
+            if _events.enabled() and rec is not None:
+                _events.emit("node_rebuild", node=node_id, nnz=sym.nnz,
+                             seconds=rec.duration, chunks=len(chunks))
+        elif _events.enabled():
+            t0 = time.perf_counter()
+            self.pool.run([
+                (lambda s=s, g=g: kernel.rebuild_chunk(ctx, s, g, out))
+                for s, g in chunks
+            ])
+            _events.emit("node_rebuild", node=node_id, nnz=sym.nnz,
+                         seconds=time.perf_counter() - t0,
+                         chunks=len(chunks))
         else:
             self.pool.run([
                 (lambda s=s, g=g: kernel.rebuild_chunk(ctx, s, g, out))

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import contextvars
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
@@ -20,11 +21,25 @@ from ..core.dtypes import VALUE_DTYPE
 from ..core.validate import check_mode, check_positive_int
 from ..baselines.base import MttkrpBackend
 from ..obs import trace as _trace
+from ..obs.metrics import registry as _metrics
 from .partition import partition_nonzeros
 
 
 def default_workers() -> int:
-    """Worker count default: physical-ish parallelism, capped at 8."""
+    """Worker count default: ``REPRO_WORKERS`` override, else cpu count
+    capped at 8 (memory-bound kernels stop scaling past that on typical
+    desktop memory systems)."""
+    raw = (os.environ.get("REPRO_WORKERS") or "").strip()
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
+        return value
     return max(1, min(os.cpu_count() or 1, 8))
 
 
@@ -43,39 +58,86 @@ class WorkerPool:
         self._executor: ThreadPoolExecutor | None = None
         if self.n_workers > 1:
             self._executor = ThreadPoolExecutor(max_workers=self.n_workers)
+        # Stable small worker ids (0..n-1) keyed by thread ident, assigned
+        # first-seen: the inline path runs on the submitting thread, which
+        # therefore gets id 0 — identical span shape to a one-thread pool.
+        self._worker_ids: dict[int, int] = {}
+        self._worker_lock = threading.Lock()
+
+    def _worker_id(self) -> int:
+        ident = threading.get_ident()
+        with self._worker_lock:
+            wid = self._worker_ids.get(ident)
+            if wid is None:
+                wid = self._worker_ids[ident] = len(self._worker_ids)
+            return wid
 
     def run(self, tasks: Sequence[Callable[[], object]]) -> list[object]:
         """Execute thunks, returning their results in submission order.
 
         When tracing is enabled, each task runs inside a copy of the
         submitting thread's :mod:`contextvars` context wrapped in a
-        ``pool_task`` span, so worker-thread spans (and any context-local
-        counters) nest under the caller's current span.  The traced path is
-        entirely skipped while tracing is off.
+        ``pool_task`` span carrying ``index``, ``worker`` (stable lane id),
+        and ``queue_wait`` (seconds between submit and start; exactly 0.0
+        on the inline path), so worker-thread spans (and any context-local
+        counters) nest under the caller's current span and
+        :mod:`repro.obs.utilization` can reconstruct per-worker timelines.
+        Each traced fan-out of >=2 tasks also publishes the
+        ``pool.imbalance`` gauge (max/mean task seconds).  The traced path
+        is entirely skipped while tracing is off.
         """
         if self._executor is None or len(tasks) <= 1:
             if _trace.enabled():
-                return [
-                    self._run_span(t, i) for i, t in enumerate(tasks)
+                durations: list[float] = []
+                results = [
+                    self._run_span(t, i, None, durations)
+                    for i, t in enumerate(tasks)
                 ]
+                self._publish_imbalance(durations)
+                return results
             return [t() for t in tasks]
         if _trace.enabled():
             # One context copy per task: a Context cannot be entered by two
             # threads at once, and the copy carries the parent span id.
+            durations = []
+            tracer = _trace.get_tracer()
             futures = [
                 self._executor.submit(
-                    contextvars.copy_context().run, self._run_span, t, i
+                    contextvars.copy_context().run, self._run_span, t, i,
+                    tracer.now(), durations
                 )
                 for i, t in enumerate(tasks)
             ]
-        else:
-            futures = [self._executor.submit(t) for t in tasks]
+            results = [f.result() for f in futures]
+            self._publish_imbalance(durations)
+            return results
+        futures = [self._executor.submit(t) for t in tasks]
         return [f.result() for f in futures]
 
+    def _run_span(self, task: Callable[[], object], index: int,
+                  t_submit: float | None,
+                  durations: list[float]) -> object:
+        # t_submit None = inline execution: no queue, wait is exactly 0.0.
+        queue_wait = (
+            max(_trace.get_tracer().now() - t_submit, 0.0)
+            if t_submit is not None else 0.0
+        )
+        with _trace.span(
+            "pool_task", index=index, worker=self._worker_id(),
+            queue_wait=queue_wait,
+        ) as rec:
+            result = task()
+        if rec is not None:
+            durations.append(rec.duration)
+        return result
+
     @staticmethod
-    def _run_span(task: Callable[[], object], index: int) -> object:
-        with _trace.span("pool_task", index=index):
-            return task()
+    def _publish_imbalance(durations: list[float]) -> None:
+        if len(durations) < 2:
+            return
+        mean = sum(durations) / len(durations)
+        if mean > 0:
+            _metrics.set_gauge("pool.imbalance", max(durations) / mean)
 
     def close(self) -> None:
         if self._executor is not None:

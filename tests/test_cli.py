@@ -174,3 +174,71 @@ class TestTraceCommands:
         assert "missing command" in capsys.readouterr().err
         assert main(["trace", "trace", "datasets"]) == 2
         assert "cannot trace" in capsys.readouterr().err
+
+    def test_trace_writes_events(self, tmp_path, capsys):
+        from repro.obs.events import read_events, validate_events
+
+        trace_dir, _ = self._trace_run(tmp_path, capsys)
+        events = read_events(str(trace_dir / "events.jsonl"))
+        assert validate_events(events) == []
+        assert {e["kind"] for e in events} >= {"run_start", "iteration",
+                                              "run_stop"}
+
+    def test_report_on_missing_trace_dir(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no trace file" in err
+
+    def test_trace_wrapping_failing_subcommand(self, tmp_path, capsys):
+        assert main([
+            "trace", "--trace-dir", str(tmp_path / "tr"),
+            "decompose", str(tmp_path / "no-such.tns"), "--rank", "2",
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeAndTail:
+    @pytest.fixture(autouse=True)
+    def clean_obs_state(self):
+        from repro.obs import events, trace
+        from repro.obs.metrics import registry
+
+        yield
+        trace.disable()
+        trace.get_tracer().clear()
+        events.disable()
+        events.get_log().close_sink()
+        events.get_log().clear()
+        registry.reset()
+
+    @pytest.fixture
+    def trace_dir(self, tmp_path, capsys):
+        trace_dir = tmp_path / "tr"
+        assert main([
+            "trace", "--trace-dir", str(trace_dir),
+            "decompose", "nips", "--scale", "0.01", "--rank", "2",
+            "--iters", "2", "--strategy", "bdt",
+        ]) == 0
+        capsys.readouterr()
+        return trace_dir
+
+    def test_serve_rejects_nested(self, capsys):
+        assert main(["serve", "serve"]) == 2
+        assert "cannot wrap" in capsys.readouterr().err
+
+    def test_serve_occupied_port(self, trace_dir, capsys):
+        from repro.obs.serve import ObsServer
+
+        with ObsServer(port=0) as server:
+            assert main(["serve", "--port", str(server.port),
+                         "--trace-dir", str(trace_dir)]) == 2
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_tail_missing_file(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_tail_renders_events(self, trace_dir, capsys):
+        assert main(["tail", str(trace_dir), "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "run_stop" in out

@@ -89,6 +89,110 @@ class TestWorkerPool:
             WorkerPool(0)
 
 
+class TestDefaultWorkers:
+    @pytest.fixture(autouse=True)
+    def restore_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+    def test_env_override(self, monkeypatch):
+        from repro.parallel.pool import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        # The override feeds the pool default too.
+        pool = WorkerPool()
+        assert pool.n_workers == 3
+        pool.close()
+
+    def test_env_not_an_integer(self, monkeypatch):
+        from repro.parallel.pool import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="positive integer"):
+            default_workers()
+
+    def test_env_below_one(self, monkeypatch):
+        from repro.parallel.pool import default_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match=">= 1"):
+            default_workers()
+
+    def test_unset_uses_cpu_count(self):
+        from repro.parallel.pool import default_workers
+
+        assert 1 <= default_workers() <= 8
+
+
+class TestPoolTaskSpans:
+    @pytest.fixture(autouse=True)
+    def clean_trace(self):
+        from repro.obs import trace
+
+        trace.disable()
+        trace.get_tracer().clear()
+        yield
+        trace.disable()
+        trace.get_tracer().clear()
+
+    def _task_spans(self, n_workers, n_tasks=4):
+        from repro.obs import trace
+
+        with trace.tracing():
+            with WorkerPool(n_workers) as pool:
+                results = pool.run(
+                    [(lambda i=i: i * i) for i in range(n_tasks)]
+                )
+        assert results == [i * i for i in range(n_tasks)]
+        return [s for s in trace.get_tracer().finished()
+                if s.kind == "pool_task"]
+
+    def test_inline_path_emits_identical_span_shape(self):
+        spans = self._task_spans(n_workers=1)
+        assert len(spans) == 4
+        for s in spans:
+            assert set(s.attrs) == {"index", "worker", "queue_wait"}
+            # Inline execution: submitting thread is lane 0, no queue.
+            assert s.attrs["worker"] == 0
+            assert s.attrs["queue_wait"] == 0.0
+
+    def test_threaded_path_attrs(self):
+        spans = self._task_spans(n_workers=2, n_tasks=8)
+        assert len(spans) == 8
+        for s in spans:
+            assert set(s.attrs) == {"index", "worker", "queue_wait"}
+            assert s.attrs["queue_wait"] >= 0.0
+        workers = {s.attrs["worker"] for s in spans}
+        assert workers <= {0, 1} and len(workers) >= 1
+        assert sorted(s.attrs["index"] for s in spans) == list(range(8))
+
+    def test_single_task_fanout_runs_inline(self):
+        # len(tasks) <= 1 short-circuits to the inline path even with a
+        # threaded pool: exactly one span, zero queue wait.
+        from repro.obs import trace
+
+        with trace.tracing():
+            with WorkerPool(4) as pool:
+                assert pool.run([lambda: 42]) == [42]
+        (span,) = [s for s in trace.get_tracer().finished()
+                   if s.kind == "pool_task"]
+        assert span.attrs["queue_wait"] == 0.0
+
+    def test_imbalance_gauge_published(self):
+        import time
+
+        from repro.obs import trace
+        from repro.obs.metrics import registry
+
+        registry.reset()
+        with trace.tracing():
+            with WorkerPool(1) as pool:
+                pool.run([lambda: time.sleep(0.002), lambda: None])
+        gauges = registry.snapshot()["gauges"]
+        assert gauges.get("pool.imbalance", 0.0) > 1.0
+        registry.reset()
+
+
 class TestParallelCoo:
     @pytest.mark.parametrize("n_workers", [1, 2, 4])
     def test_matches_dense(self, n_workers):
