@@ -12,6 +12,11 @@ three configurations:
 * ``enabled_memtrack`` — spans plus the memoized-value memory tracker
   (store/free events + per-iteration windows), i.e. everything
   ``repro trace`` turns on except tracemalloc sampling;
+* ``enabled_attribution`` — spans plus per-node/per-mode cost
+  attribution (:mod:`repro.obs.attribution`): predictions registered
+  from the cost model, per-iteration windows diffed into
+  predicted-vs-measured readings, i.e. what ``repro explain --measure``
+  and ``repro trace`` turn on;
 * ``enabled_events_serve`` — spans plus the structured event log and a
   live :class:`repro.obs.serve.ObsServer` scraping thread running for
   the duration, i.e. the full ``repro serve <cmd>`` live-telemetry
@@ -24,9 +29,9 @@ to ``benchmarks/history/history.jsonl`` for ``repro bench-diff``::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 
-The acceptance bar: enabled overhead < 3%, memory tracking < 1% on top,
-disabled within timer noise of an uninstrumented build (the guard is one
-module-bool check per call site).
+The acceptance bar: enabled overhead < 3%, memory tracking and cost
+attribution < 2% each on top, disabled within timer noise of an
+uninstrumented build (the guard is one module-bool check per call site).
 """
 
 import json
@@ -38,6 +43,7 @@ import numpy as np
 from repro.core.engine import MemoizedMttkrp
 from repro.core.strategy import balanced_binary
 from repro.model.cost import cost_from_symbolic
+from repro.obs import attribution as obs_attr
 from repro.obs import events as obs_events
 from repro.obs import memory as obs_memory
 from repro.obs import trace as obs_trace
@@ -61,12 +67,15 @@ def _als_iteration(engine: MemoizedMttkrp) -> None:
 def _best_iteration_seconds(engine, repeats: int, *,
                             watchdog: DriftWatchdog | None = None,
                             mem_tracker=None,
+                            attr_recorder=None,
                             emit_iteration_events: bool = False) -> float:
     _als_iteration(engine)  # warm: caches, arena, (when tracing) span path
     best = float("inf")
     for i in range(repeats):
         if mem_tracker is not None:
             mem_tracker.begin_window()
+        if attr_recorder is not None:
+            attr_recorder.begin_window()
         t0 = time.perf_counter()
         if watchdog is not None:
             with perf.counting() as c:
@@ -80,6 +89,8 @@ def _best_iteration_seconds(engine, repeats: int, *,
             mem_tracker.observe_iteration(
                 i, workspace_bytes=engine.workspace_nbytes()
             )
+        if attr_recorder is not None:
+            attr_recorder.observe_iteration(i)
         if emit_iteration_events:
             # Mirror cp_als's per-iteration event on top of the engine's
             # own node_rebuild events.
@@ -127,6 +138,21 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
     obs_memory.disable()
     tracker.reset()
 
+    obs_trace.get_tracer().clear()
+    obs_attr.enable(clear=True)
+    recorder = obs_attr.get_recorder()
+    recorder.register(engine.strategy, engine.symbolic.node_nnz(),
+                      ACCEPT_RANK)
+    with_attribution = _best_iteration_seconds(
+        engine, repeats, attr_recorder=recorder
+    )
+    attr_readings = len(recorder.readings)
+    attr_worst_err = max(
+        (r.max_node_err("flops") or 0.0) for r in recorder.readings
+    )
+    obs_attr.disable()
+    recorder.reset()
+
     from repro.obs.serve import ObsServer
 
     obs_trace.get_tracer().clear()
@@ -166,6 +192,10 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
                 "seconds_per_iteration": with_memtrack,
                 "overhead_pct": pct(with_memtrack),
             },
+            "enabled_attribution": {
+                "seconds_per_iteration": with_attribution,
+                "overhead_pct": pct(with_attribution),
+            },
             "enabled_events_serve": {
                 "seconds_per_iteration": with_events_serve,
                 "overhead_pct": pct(with_events_serve),
@@ -174,6 +204,8 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
         "spans_per_measured_block": span_count,
         "drift_fired": watchdog.n_fired(),
         "memtrack": {"peak_bytes": mem_peak, "events": mem_events},
+        "attribution": {"readings": attr_readings,
+                        "max_node_flop_err": attr_worst_err},
         "events_logged": n_events,
     }
 
@@ -199,6 +231,14 @@ def main() -> None:
         fh.write("\n".join(lines) + "\n")
     print("\n".join(lines))
     print(f"wrote {base}.json")
+    attr = report["runs"]["enabled_attribution"]
+    assert attr["overhead_pct"] < 2.0, (
+        f"attribution overhead {attr['overhead_pct']:.2f}% exceeds the "
+        f"2% budget"
+    )
+    assert report["attribution"]["max_node_flop_err"] == 0.0, (
+        "attributed per-node flops diverged from the model on numpy"
+    )
     if not os.environ.get("REPRO_BENCH_NO_HISTORY"):
         from repro.obs.history import BenchHistory
 

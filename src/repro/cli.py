@@ -127,6 +127,23 @@ def cmd_plan(args) -> int:
 
     tensor = load_input(args.input, args.scale)
     machine = calibrate_machine() if args.calibrate else None
+    if args.explain or args.json:
+        from .obs.explain import explain_plan
+
+        expl = explain_plan(
+            tensor, args.rank, memory_budget=args.memory_budget,
+            machine=machine,
+        )
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(
+                expl.to_artifact(input=args.input, scale=args.scale),
+                indent=2,
+            ))
+        else:
+            print(expl.summary(top=args.top))
+        return 0
     report = plan(
         tensor, args.rank, memory_budget=args.memory_budget, machine=machine
     )
@@ -134,6 +151,52 @@ def cmd_plan(args) -> int:
     best = report.best
     print(f"\nselected: {best.strategy.name}  "
           f"spec={best.strategy.to_nested()}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from .model.calibrate import calibrate_machine
+    from .obs.explain import explain_plan, validate_plan_artifact
+
+    tensor = load_input(args.input, args.scale)
+    machine = calibrate_machine() if args.calibrate else None
+    expl = explain_plan(
+        tensor, args.rank, memory_budget=args.memory_budget, machine=machine
+    )
+    measured = None
+    if args.measure:
+        from .core.cpals import cp_als
+        from .obs import attribution as obs_attr
+
+        with obs_attr.recording() as rec:
+            cp_als(
+                tensor, args.rank, strategy=expl.report.best.strategy,
+                n_iter_max=args.iters, tol=0.0, random_state=args.seed,
+            )
+        measured = rec.snapshot()
+    artifact = expl.to_artifact(input=args.input, scale=args.scale)
+    if measured is not None:
+        artifact["result"]["measured"] = measured
+    validate_plan_artifact(artifact)
+    import json as _json
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            _json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(_json.dumps(artifact, indent=2))
+        return 0
+    print(expl.summary(top=args.top))
+    if measured is not None:
+        from .obs.attribution import format_attribution
+
+        rendered = format_attribution(measured)
+        if rendered:
+            print()
+            print(rendered)
+    if args.out:
+        print(f"\nwrote {args.out}")
     return 0
 
 
@@ -211,6 +274,7 @@ def cmd_complete(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    from .obs import attribution as obs_attr
     from .obs import events as obs_events
     from .obs import memory as obs_memory
     from .obs import trace as obs_trace
@@ -237,9 +301,11 @@ def cmd_trace(args) -> int:
     was_enabled = obs_trace.enabled()
     mem_was_enabled = obs_memory.enabled()
     events_were_enabled = obs_events.enabled()
+    attr_was_enabled = obs_attr.enabled()
     obs_trace.enable(clear=True)
     obs_memory.enable(clear=True, sample_tracemalloc=True)
     obs_events.enable(clear=not events_were_enabled)
+    obs_attr.enable(clear=True)
     registry.reset()
     t0 = time.perf_counter()
     try:
@@ -252,6 +318,8 @@ def cmd_trace(args) -> int:
             obs_memory.disable()
         if not events_were_enabled:
             obs_events.disable()
+        if not attr_was_enabled:
+            obs_attr.disable()
     elapsed = time.perf_counter() - t0
 
     spans = obs_trace.get_tracer().finished()
@@ -279,6 +347,13 @@ def cmd_trace(args) -> int:
     with open(memory_path, "w") as fh:
         _json.dump(mem.snapshot(), fh, indent=2)
         fh.write("\n")
+    attr = obs_attr.get_recorder()
+    attribution_path = None
+    if attr.has_data:
+        attribution_path = os.path.join(args.trace_dir, "attribution.json")
+        with open(attribution_path, "w") as fh:
+            _json.dump(attr.snapshot(), fh, indent=2)
+            fh.write("\n")
 
     print(f"\n-- traced {len(spans)} spans in {elapsed:.2f}s")
     print(kind_table(spans))
@@ -289,7 +364,8 @@ def cmd_trace(args) -> int:
               f"{len(mem.readings)} iteration readings)")
     print(f"\nwrote {chrome_path} (open in chrome://tracing or "
           f"https://ui.perfetto.dev), {jsonl_path}, {memory_path}, "
-          f"{metrics_path}, {events_path}")
+          f"{metrics_path}, {events_path}"
+          + (f", {attribution_path}" if attribution_path else ""))
     return rc
 
 
@@ -335,6 +411,28 @@ def cmd_report(args) -> int:
             print("gauges  : " + ", ".join(
                 f"{k}={v:.3f}" for k, v in sorted(gauges.items())
             ))
+    from .obs.attribution import attribution_from_spans, format_attribution
+
+    attr_path = os.path.join(os.path.dirname(path) or ".",
+                             "attribution.json")
+    if os.path.exists(attr_path):
+        import json as _json
+
+        with open(attr_path) as fh:
+            doc = _json.load(fh)
+        rendered = format_attribution(doc)
+        if rendered:
+            print(f"\ncost attribution from {attr_path}:")
+            print(rendered)
+    else:
+        # No recorder artifact: reconstruct the time attribution the
+        # spans alone support (per-node seconds, per-mode seconds).
+        doc = attribution_from_spans(spans)
+        if doc is not None:
+            rendered = format_attribution(doc)
+            if rendered:
+                print()
+                print(rendered)
     return 0
 
 
@@ -369,6 +467,7 @@ def cmd_bench_diff(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from .obs import attribution as obs_attr
     from .obs import events as obs_events
     from .obs import memory as obs_memory
     from .obs import trace as obs_trace
@@ -407,9 +506,11 @@ def cmd_serve(args) -> int:
     was_enabled = obs_trace.enabled()
     mem_was_enabled = obs_memory.enabled()
     events_were_enabled = obs_events.enabled()
+    attr_was_enabled = obs_attr.enabled()
     obs_trace.enable(clear=True)
     obs_memory.enable(clear=True)
     obs_events.enable(clear=not events_were_enabled)
+    obs_attr.enable(clear=True)
     registry.reset()
     server.start()
     print(f"serving {server.url}/metrics (also /healthz, /runz) "
@@ -425,6 +526,8 @@ def cmd_serve(args) -> int:
             obs_memory.disable()
         if not events_were_enabled:
             obs_events.disable()
+        if not attr_was_enabled:
+            obs_attr.disable()
     return rc
 
 
@@ -482,11 +585,18 @@ def cmd_dashboard(args) -> int:
     kinds = summary = None
     utilization = None
     pool_tasks: list[dict] = []
+    attribution_doc = None
     if args.trace_dir and os.path.isdir(args.trace_dir):
         memory_path = os.path.join(args.trace_dir, "memory.json")
         jsonl_path = os.path.join(args.trace_dir, "trace.jsonl")
+        attr_path = os.path.join(args.trace_dir, "attribution.json")
         if os.path.exists(memory_path):
             readings = load_memory_json(memory_path)
+        if os.path.exists(attr_path):
+            import json as _json
+
+            with open(attr_path) as fh:
+                attribution_doc = _json.load(fh)
         if os.path.exists(jsonl_path):
             from .obs.utilization import utilization_from_spans
 
@@ -512,6 +622,7 @@ def cmd_dashboard(args) -> int:
         pool_tasks=pool_tasks,
         kind_table_text=kinds,
         trace_summary=summary,
+        attribution=attribution_doc,
     )
     print(f"wrote {out} ({len(entries)} history entries, "
           f"{len(readings)} memory readings)")
@@ -554,7 +665,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=8)
     p.add_argument("--calibrate", action="store_true",
                    help="micro-benchmark this machine first")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable repro-plan/v1 artifact in the "
+                   "repro-bench/v1 envelope")
+    p.add_argument("--explain", action="store_true",
+                   help="full decision trace: margins, dominant cost "
+                   "terms, the winner's per-node predicted costs")
     p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser(
+        "explain",
+        help="explain a plan: full candidate search + per-node costs",
+        description="Run the planner and keep the whole decision trace: "
+        "every candidate with its tree shape, per-node and per-mode "
+        "predicted flop/word/byte terms, the winner's margin over each "
+        "runner-up and which cost term dominates it.  --measure then runs "
+        "CP-ALS on the winner with cost attribution enabled and appends "
+        "the measured per-node breakdown (exact flop alignment on the "
+        "numpy backend).  --json emits the repro-plan/v1 artifact in the "
+        "shared repro-bench/v1 envelope.",
+    )
+    add_input(p)
+    p.add_argument("--rank", type=int, default=16)
+    p.add_argument("--memory-budget", type=int, default=None,
+                   help="cap on memoization memory (bytes)")
+    p.add_argument("--top", type=int, default=8)
+    p.add_argument("--calibrate", action="store_true",
+                   help="micro-benchmark this machine first")
+    p.add_argument("--measure", action="store_true",
+                   help="run CP-ALS on the winner and attach the measured "
+                   "per-node attribution")
+    p.add_argument("--iters", type=int, default=3,
+                   help="iterations for --measure (default: 3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="print the artifact JSON instead of tables")
+    p.add_argument("--out", default=None,
+                   help="also write the artifact JSON to this path")
+    p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser("decompose", help="CP-ALS / nonnegative CP")
     add_input(p)

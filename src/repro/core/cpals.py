@@ -19,6 +19,7 @@ from ..linalg.gram import GramCache
 from ..linalg.innerprod import innerprod_from_mttkrp
 from ..linalg.norms import normalize_columns
 from ..linalg.solve import solve_normal_equations
+from ..obs import attribution as _obs_attr
 from ..obs import events as _obs_events
 from ..obs import memory as _obs_mem
 from ..obs import trace as _obs
@@ -52,6 +53,11 @@ class CPResult:
         :class:`~repro.obs.memory.MemReading` list (measured vs predicted
         peak memoized-value bytes) when memory tracking was enabled
         (:func:`repro.obs.memory.enabled`), else None.
+    attribution_readings: per-iteration
+        :class:`~repro.obs.attribution.AttributionReading` list (measured
+        per-tree-node / per-mode work aligned node-for-node with the cost
+        model) when attribution was enabled
+        (:func:`repro.obs.attribution.enabled`), else None.
     """
 
     ktensor: KruskalTensor
@@ -63,6 +69,7 @@ class CPResult:
     timings: dict = field(default_factory=dict)
     drift_readings: list | None = None
     memory_readings: list | None = None
+    attribution_readings: list | None = None
 
     @property
     def fit(self) -> float:
@@ -215,6 +222,15 @@ def cp_als(
             )
         mem_readings = []
 
+    attr_recorder = None
+    attr_readings: list | None = None
+    if _obs_attr.enabled() and isinstance(engine, MemoizedMttkrp):
+        attr_recorder = _obs_attr.get_recorder()
+        attr_recorder.register(
+            engine.strategy, engine.symbolic.node_nnz(), rank
+        )
+        attr_readings = []
+
     if _obs_events.enabled():
         _obs_events.emit(
             "run_start", shape=list(tensor.shape), nnz=tensor.nnz,
@@ -255,6 +271,8 @@ def cp_als(
         it0 = time.perf_counter()
         if mem_tracker is not None:
             mem_tracker.begin_window()
+        if attr_recorder is not None:
+            attr_recorder.begin_window()
         with _obs.span("als_iteration", iteration=iteration):
             if watchdog is not None:
                 # Count this iteration's work in a private sink, then fold
@@ -278,9 +296,13 @@ def cp_als(
                 factor_bytes=engine.factor_bytes(),
             )
             mem_readings.append(mem_reading)
+        attr_reading = None
+        if attr_recorder is not None:
+            attr_reading = attr_recorder.observe_iteration(iteration)
+            attr_readings.append(attr_reading)
         if watchdog is not None:
             watchdog.observe(iteration, it_counters, it_seconds,
-                             mem=mem_reading)
+                             mem=mem_reading, attribution=attr_reading)
 
         last = mode_order[-1]
         fit = _compute_fit(
@@ -333,6 +355,7 @@ def cp_als(
         },
         drift_readings=watchdog.readings if watchdog is not None else None,
         memory_readings=mem_readings,
+        attribution_readings=attr_readings,
     )
 
 

@@ -16,6 +16,7 @@ import numpy as np
 import time
 
 from ..kernels import RebuildContext, WorkspaceArena, get_kernel
+from ..obs import attribution as _attr
 from ..obs import events as _events
 from ..obs import memory as _mem
 from ..obs import trace as _trace
@@ -175,6 +176,9 @@ class MemoizedMttkrp:
         matrices by the tree height.
         """
         mode = check_mode(mode, self.tensor.ndim)
+        attr = _attr.get_recorder() if _attr.enabled() else None
+        if attr is not None:
+            attr.begin_mode(mode)
         with _trace.span("mttkrp", mode=mode):
             tracker = _mem.get_tracker() if _mem.enabled() else None
             for nid in self.strategy.invalidated_by(mode):
@@ -191,6 +195,8 @@ class MemoizedMttkrp:
             )
             out[sym.index[:, 0]] = vals
             perf.record(mttkrps=1, words=vals.size)
+            if attr is not None:
+                attr.end_mode(mode, leaf_id, vals.size)
             if _trace.enabled():
                 self._publish_memory_gauges()
             return out
@@ -292,19 +298,25 @@ class MemoizedMttkrp:
 
     def _compute_node(self, node_id: int) -> np.ndarray:
         ctx = self._rebuild_context(node_id)
+        attr = _attr.get_recorder() if _attr.enabled() else None
+        seconds = 0.0
         if _trace.enabled():
             with _trace.span("node_rebuild", node=node_id,
                              nnz=ctx.sym.nnz,
                              parent_nnz=ctx.parent_sym.nnz) as rec:
                 result = self._kernel.traced_rebuild(ctx)
-            if _events.enabled() and rec is not None:
-                _events.emit("node_rebuild", node=node_id, nnz=ctx.sym.nnz,
-                             seconds=rec.duration)
-        elif _events.enabled():
+            if rec is not None:
+                seconds = rec.duration
+                if _events.enabled():
+                    _events.emit("node_rebuild", node=node_id,
+                                 nnz=ctx.sym.nnz, seconds=seconds)
+        elif _events.enabled() or attr is not None:
             t0 = time.perf_counter()
             result = self._kernel.rebuild(ctx)
-            _events.emit("node_rebuild", node=node_id, nnz=ctx.sym.nnz,
-                         seconds=time.perf_counter() - t0)
+            seconds = time.perf_counter() - t0
+            if _events.enabled():
+                _events.emit("node_rebuild", node=node_id, nnz=ctx.sym.nnz,
+                             seconds=seconds)
         else:
             result = self._kernel.rebuild(ctx)
         flops, words = contraction_work(
@@ -316,6 +328,8 @@ class MemoizedMttkrp:
             contractions=len(ctx.sym.delta_modes),
             node_builds=1,
         )
+        if attr is not None:
+            attr.on_rebuild(node_id, flops, words, seconds)
         return result
 
     def workspace_nbytes(self) -> int:

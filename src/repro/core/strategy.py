@@ -189,6 +189,41 @@ class MemoStrategy:
 
         return walk(self.root_id)
 
+    def rebuild_schedule(self) -> list[tuple[int, tuple[int, ...]]]:
+        """Steady-state per-mode rebuild schedule: ``[(mode, node_ids), ...]``.
+
+        Replays the engine's cache behaviour (eager frees on entering a
+        sub-iteration, root-path materialization) until the per-mode rebuild
+        assignment repeats, and returns that fixed point: for each mode in
+        :attr:`mode_order`, the non-root node ids rebuilt during its
+        sub-iteration, in build (root-to-leaf) order.  Under the post-order
+        mode schedule every non-root node appears exactly once per iteration,
+        so this is a partition of the non-root nodes — the structural basis
+        for attributing per-node cost to modes.
+        """
+        live: set[int] = set()
+        prev: list[tuple[int, tuple[int, ...]]] | None = None
+        # The cache-state transition per iteration is deterministic, so the
+        # schedule reaches its cycle within a couple of passes; the bound is
+        # a safety net, not a tuning knob.
+        for _ in range(4):
+            schedule: list[tuple[int, tuple[int, ...]]] = []
+            for n in self.mode_order:
+                for nid in self.invalidated_by(n):
+                    live.discard(nid)
+                built: list[int] = []
+                for nid in reversed(self.path_to_root(self.leaf_id(n))):
+                    if self.nodes[nid].is_root or nid in live:
+                        continue
+                    live.add(nid)
+                    built.append(nid)
+                schedule.append((n, tuple(built)))
+            if schedule == prev:
+                break
+            prev = schedule
+        assert prev is not None
+        return prev
+
     def depth(self) -> int:
         """Tree height: edges on the longest root-to-leaf path."""
         best = 0

@@ -110,6 +110,104 @@ def iteration_flops_words(
     return flops, words
 
 
+@dataclass(frozen=True)
+class NodeCostTerms:
+    """One tree node's predicted contribution to an iteration's cost.
+
+    One entry exists per strategy node (the root included, with zero work)
+    so measured attributions align node-for-node by id.  ``words`` includes
+    the leaf's scatter read (``scatter_words``); summing ``flops`` /
+    ``words`` over all nodes reproduces :func:`iteration_flops_words`
+    exactly — a tested invariant, not an approximation.
+    """
+
+    node_id: int
+    modes: tuple[int, ...]
+    parent: int | None
+    delta: tuple[int, ...]
+    nnz: int
+    parent_nnz: int | None
+    flops: int
+    words: int
+    scatter_words: int
+    value_bytes: int
+    index_bytes: int
+    #: mode whose sub-iteration rebuilds this node in the steady-state
+    #: schedule (None for the root, which is never rebuilt).
+    rebuild_mode: int | None
+
+
+def node_cost_terms(
+    strategy: MemoStrategy, node_nnz: Sequence[int], rank: int
+) -> list[NodeCostTerms]:
+    """Per-node decomposition of one iteration's predicted flops/words.
+
+    The per-node terms are exactly the addends of
+    :func:`iteration_flops_words`: each non-root node contributes one
+    rebuild from its parent (``contraction_work``) plus, for leaves, the
+    scatter read of its value matrix into the MTTKRP output.  Byte terms
+    mirror :func:`simulate_peak_value_bytes` (value matrices) and
+    :func:`symbolic_index_bytes` (index structures) per node.
+    """
+    if len(node_nnz) != len(strategy.nodes):
+        raise ValueError(
+            f"node_nnz has {len(node_nnz)} entries for "
+            f"{len(strategy.nodes)} nodes"
+        )
+    rebuild_mode: dict[int, int] = {}
+    for mode, built in strategy.rebuild_schedule():
+        for nid in built:
+            rebuild_mode[nid] = mode
+    terms: list[NodeCostTerms] = []
+    for node in strategy.nodes:
+        nnz_t = int(node_nnz[node.id])
+        if node.is_root:
+            terms.append(NodeCostTerms(
+                node_id=node.id, modes=node.modes, parent=None, delta=(),
+                nnz=nnz_t, parent_nnz=None, flops=0, words=0,
+                scatter_words=0, value_bytes=0,
+                index_bytes=nnz_t * len(node.modes) * INDEX_ITEMSIZE,
+                rebuild_mode=None,
+            ))
+            continue
+        parent_nnz = int(node_nnz[node.parent])  # type: ignore[index]
+        flops, words = contraction_work(parent_nnz, rank, len(node.delta))
+        scatter = nnz_t * rank if node.is_leaf else 0
+        terms.append(NodeCostTerms(
+            node_id=node.id, modes=node.modes, parent=node.parent,
+            delta=node.delta, nnz=nnz_t, parent_nnz=parent_nnz,
+            flops=flops, words=words + scatter, scatter_words=scatter,
+            value_bytes=nnz_t * rank * VALUE_ITEMSIZE,
+            index_bytes=(nnz_t * len(node.modes)
+                         + parent_nnz + 2 * nnz_t) * INDEX_ITEMSIZE,
+            rebuild_mode=rebuild_mode.get(node.id),
+        ))
+    return terms
+
+
+def per_mode_cost(
+    strategy: MemoStrategy, node_nnz: Sequence[int], rank: int
+) -> dict[int, dict[str, int]]:
+    """Predicted per-mode flops/words: node terms grouped by rebuild mode.
+
+    Each mode's entry sums the :func:`node_cost_terms` of the nodes its
+    sub-iteration rebuilds, so the per-mode values partition the iteration
+    totals exactly.
+    """
+    out: dict[int, dict[str, int]] = {
+        m: {"flops": 0, "words": 0, "nodes": 0}
+        for m in strategy.mode_order
+    }
+    for term in node_cost_terms(strategy, node_nnz, rank):
+        if term.rebuild_mode is None:
+            continue
+        agg = out[term.rebuild_mode]
+        agg["flops"] += term.flops
+        agg["words"] += term.words
+        agg["nodes"] += 1
+    return out
+
+
 def simulate_peak_value_bytes(
     strategy: MemoStrategy, node_nnz: Sequence[int], rank: int
 ) -> int:

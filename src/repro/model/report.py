@@ -11,7 +11,20 @@ def format_table(
     *,
     title: str | None = None,
 ) -> str:
-    """Render an ASCII table with right-aligned numeric columns."""
+    """Render an ASCII table with right-aligned numeric columns.
+
+    Every row must have exactly one cell per header; ragged input raises
+    ``ValueError`` (a short row would otherwise render as a silently
+    misaligned table, a long one as an ``IndexError``).
+    """
+    if not headers:
+        raise ValueError("format_table requires at least one header")
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)} "
+                f"(headers: {', '.join(map(str, headers))})"
+            )
     str_rows = [[_fmt(c) for c in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in str_rows:

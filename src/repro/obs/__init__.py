@@ -32,6 +32,15 @@ Zero-dependency instrumentation for the engine/kernel/parallel stack:
 * :mod:`repro.obs.utilization` — per-worker busy/queue-wait/imbalance
   stats derived from ``pool_task`` spans, surfaced by ``repro report``,
   the dashboard, and the E8 scaling experiment.
+* :mod:`repro.obs.explain` — planner explainability: the complete
+  candidate search with per-node/per-mode predicted cost terms as a
+  versioned ``repro-plan/v1`` artifact (``repro explain``).  Imported
+  lazily, like the watchdog.
+* :mod:`repro.obs.attribution` — measured per-tree-node / per-mode cost
+  attribution during real runs, aligned node-for-node with the model's
+  prediction; feeds the watchdog's node/mode blame and the
+  ``attr.mode*.flops_ratio`` gauges.  Enabled via
+  :func:`attribution.enable` or ``REPRO_ATTRIBUTION=1``.
 
 Quickstart::
 
@@ -48,8 +57,9 @@ or, from the shell, ``repro trace decompose data.tns --rank 16``.
 
 from __future__ import annotations
 
-from . import dashboard, events, export, history, memory, serve, trace
-from . import utilization
+from . import attribution, dashboard, events, export, history, memory
+from . import serve, trace, utilization
+from .attribution import AttributionReading, AttributionRecorder
 from .buildinfo import build_info, git_revision, version_string
 from .events import EventLog, RunState
 from .history import BenchEntry, BenchHistory, DiffResult, compare
@@ -62,7 +72,9 @@ from .utilization import UtilizationReport, utilization_from_spans
 
 __all__ = [
     "export", "trace", "watchdog", "memory", "history", "dashboard",
-    "events", "serve", "utilization",
+    "events", "serve", "utilization", "attribution", "explain",
+    "AttributionReading", "AttributionRecorder",
+    "PlanExplanation", "explain_plan", "validate_plan_artifact",
     "SpanRecord", "Tracer", "span", "enabled", "enable", "disable",
     "tracing", "get_tracer",
     "MetricsRegistry", "metrics", "registry",
@@ -83,4 +95,12 @@ def __getattr__(name):
         if name == "watchdog":
             return watchdog
         return getattr(watchdog, name)
+    # Lazy for the same reason: explain drives repro.model.planner.
+    if name in ("explain", "PlanExplanation", "explain_plan",
+                "validate_plan_artifact"):
+        from . import explain
+
+        if name == "explain":
+            return explain
+        return getattr(explain, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,6 +14,10 @@ file a reviewer can open without a server, a JS bundle, or network access:
   each ``pool_task`` span a rectangle on the shared time axis (rectangles
   alternate color per fan-out), plus the busy/wait/imbalance tables from
   :mod:`repro.obs.utilization`;
+* **per-node cost attribution** — the measured-vs-predicted per-tree-node
+  flop table from an ``attribution.json`` (``repro-attr/v1``, written by
+  ``repro trace`` when a run had attribution live), with out-of-band
+  ratios flagged, plus the per-mode breakdown;
 * **trace summaries** — the per-kind aggregate table and span tree of a
   saved JSONL trace.
 
@@ -363,6 +367,71 @@ def _utilization_tables(report: UtilizationReport) -> str:
     return out
 
 
+def _attribution_section(doc: dict) -> str:
+    """Per-node predicted-vs-measured tables from a ``repro-attr/v1`` doc."""
+    node_rows = doc.get("nodes") or []
+    if not node_rows:
+        return "<p class='meta'>(no attribution data)</p>"
+    header = (
+        f"<p class='meta'>strategy {html.escape(str(doc.get('strategy')))} "
+        f"&middot; rank {doc.get('rank')} &middot; "
+        f"{doc.get('n_iterations', 0)} iterations &middot; ratios are "
+        "measured/predicted for the last full iteration; anything other "
+        "than 1.0000 on the flop column is a model-alignment bug</p>"
+    )
+    rows = []
+    for r in node_rows:
+        ratio = r.get("flops_ratio")
+        flagged = ratio is not None and abs(ratio - 1.0) > 1e-9
+        ratio_cell = (
+            f'<span class="status-regression">{ratio:.4f}</span>'
+            if flagged else (f"{ratio:.4f}" if ratio is not None else "-")
+        )
+        modes = ",".join(str(m) for m in r.get("modes", []))
+        rebuild = r.get("rebuild_mode")
+        rows.append(
+            "<tr>"
+            f'<td class="num">{r.get("node")}</td>'
+            f"<td>{html.escape(modes)}</td>"
+            f'<td class="num">{"-" if rebuild is None else rebuild}</td>'
+            f'<td class="num">{r.get("predicted_flops", 0):,}</td>'
+            f'<td class="num">{r.get("measured_flops", 0):,}</td>'
+            f'<td class="num">{ratio_cell}</td>'
+            f'<td class="num">{r.get("seconds", 0.0) * 1e3:.3f}</td>'
+            f'<td class="num">{r.get("rebuilds", 0)}</td>'
+            "</tr>"
+        )
+    out = header + (
+        "<table><thead><tr><th>node</th><th>modes</th><th>built in</th>"
+        "<th>predicted flops</th><th>measured flops</th><th>ratio</th>"
+        "<th>ms</th><th>rebuilds</th></tr></thead><tbody>"
+        + "".join(rows) + "</tbody></table>"
+    )
+    mode_rows = doc.get("modes") or []
+    if mode_rows:
+        rows = []
+        for r in mode_rows:
+            ratio = r.get("flops_ratio")
+            ratio_cell = f"{ratio:.4f}" if ratio is not None else "-"
+            rows.append(
+                "<tr>"
+                f'<td class="num">{r.get("mode")}</td>'
+                f'<td class="num">{r.get("predicted_flops", 0):,}</td>'
+                f'<td class="num">{r.get("measured_flops", 0):,}</td>'
+                f'<td class="num">{ratio_cell}</td>'
+                f'<td class="num">{r.get("seconds", 0.0) * 1e3:.3f}</td>'
+                f'<td class="num">{r.get("mttkrps", 0)}</td>'
+                "</tr>"
+            )
+        out += (
+            "<table><thead><tr><th>mode</th><th>predicted flops</th>"
+            "<th>measured flops</th><th>ratio</th><th>ms</th>"
+            "<th>mttkrps</th></tr></thead><tbody>"
+            + "".join(rows) + "</tbody></table>"
+        )
+    return out
+
+
 def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      diffs: list[DiffResult] | None = None,
                      memory_readings: list[dict] | None = None,
@@ -370,6 +439,7 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      pool_tasks: list[dict] | None = None,
                      trace_summary: str | None = None,
                      kind_table_text: str | None = None,
+                     attribution: dict | None = None,
                      title: str = "repro dashboard") -> str:
     """Assemble the full self-contained HTML document (returns the string)."""
     info = build_info()
@@ -400,6 +470,10 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
             parts.append(lanes)
         if utilization is not None:
             parts.append(_utilization_tables(utilization))
+    if attribution is not None:
+        parts.append("<h2>Cost attribution: predicted vs measured "
+                     "per tree node</h2>")
+        parts.append(_attribution_section(attribution))
     if kind_table_text:
         parts.append("<h2>Trace: per-kind aggregates</h2>")
         parts.append(f"<pre>{html.escape(kind_table_text)}</pre>")

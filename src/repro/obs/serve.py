@@ -377,6 +377,30 @@ def load_trace_dir(trace_dir: str) -> dict:
         log = _events.get_log()
         loaded["events"] = log.replay(_events.read_events(events_path))
 
+    # Per-mode prediction-error gauges from a recorded attribution doc, so
+    # a replayed /metrics carries the same attr.* series as a live run.
+    attribution_path = os.path.join(trace_dir, "attribution.json")
+    if os.path.exists(attribution_path):
+        found = True
+        with open(attribution_path) as fh:
+            attr_doc = json.load(fh)
+        max_err = None
+        for row in attr_doc.get("modes", []):
+            ratio = row.get("flops_ratio")
+            if ratio is not None:
+                _registry.set_gauge(
+                    f"attr.mode{row['mode']}.flops_ratio", ratio
+                )
+                loaded["gauges"] += 1
+        for row in attr_doc.get("nodes", []):
+            ratio = row.get("flops_ratio")
+            if ratio is not None:
+                err = abs(ratio - 1.0)
+                max_err = err if max_err is None else max(max_err, err)
+        if max_err is not None:
+            _registry.set_gauge("attr.max_node_flops_err", max_err)
+            loaded["gauges"] += 1
+
     if not found:
         raise FileNotFoundError(
             f"no trace artifacts (trace.jsonl / metrics.json / "

@@ -52,20 +52,38 @@ logger = logging.getLogger("repro.obs.watchdog")
 
 
 class ModelDriftWarning(UserWarning):
-    """Structured warning: one drift metric left its calibrated band."""
+    """Structured warning: one drift metric left its calibrated band.
+
+    When cost attribution was live for the iteration
+    (:mod:`repro.obs.attribution`), ``node`` / ``mode`` / ``detail`` name
+    the tree node most responsible for the excursion — otherwise they are
+    None and the warning describes the aggregate only.
+    """
 
     def __init__(self, metric: str, ratio: float, band: tuple[float, float],
-                 iteration: int, strategy: str):
+                 iteration: int, strategy: str,
+                 node: int | None = None, mode: int | None = None,
+                 detail: str | None = None):
         self.metric = metric
         self.ratio = ratio
         self.band = band
         self.iteration = iteration
         self.strategy = strategy
-        super().__init__(
+        self.node = node
+        self.mode = mode
+        self.detail = detail
+        msg = (
             f"model drift on {metric!r}: measured/predicted ratio "
             f"{ratio:.3f} outside band [{band[0]:.2f}, {band[1]:.2f}] "
             f"at iteration {iteration} (strategy {strategy!r})"
         )
+        if node is not None:
+            msg += (
+                f"; worst offender node {node}"
+                + (f" (rebuilt in mode {mode})" if mode is not None else "")
+                + (f": {detail}" if detail else "")
+            )
+        super().__init__(msg)
 
 
 @dataclass
@@ -157,12 +175,16 @@ class DriftWatchdog:
         self.time_baseline: float | None = None
 
     def observe(self, iteration: int, counters: Counters,
-                seconds: float, mem=None) -> DriftReading:
+                seconds: float, mem=None, attribution=None) -> DriftReading:
         """Compare one iteration's measurements against the model.
 
         ``mem`` is an optional :class:`repro.obs.memory.MemReading` for
         the same iteration; when given (and past ``mem_warmup``) the
-        measured peak joins the banded checks.
+        measured peak joins the banded checks.  ``attribution`` is an
+        optional :class:`repro.obs.attribution.AttributionReading` for the
+        iteration; when given, work/time excursions are localized to the
+        worst-offending tree node and its rebuild mode instead of flagging
+        the whole iteration.
         """
         cost = self.cost
         flops_ratio = _ratio(counters.flops, cost.flops_per_iteration)
@@ -220,24 +242,42 @@ class DriftWatchdog:
             if not band[0] <= ratio <= band[1]:
                 reading.fired.append(metric)
                 _metrics.incr("drift.warnings")
+                blame = None
+                if attribution is not None and metric in ("flops", "words",
+                                                          "time"):
+                    blame = attribution.blame(metric)
+                node = blame.get("node") if blame else None
+                mode = blame.get("rebuild_mode") if blame else None
+                detail = blame.get("why") if blame else None
+                message = (
+                    f"model drift on {metric!r}: ratio {ratio:.3f} "
+                    f"outside band [{band[0]:.2f}, {band[1]:.2f}]"
+                )
+                if node is not None:
+                    message += (
+                        f"; worst offender node {node}"
+                        + (f" (mode {mode})" if mode is not None else "")
+                        + (f": {detail}" if detail else "")
+                    )
                 _events.emit(
                     "warning",
-                    message=f"model drift on {metric!r}: ratio "
-                            f"{ratio:.3f} outside band "
-                            f"[{band[0]:.2f}, {band[1]:.2f}]",
+                    message=message,
                     metric=metric, ratio=ratio, iteration=iteration,
                     strategy=cost.strategy.name,
+                    node=node, mode=mode,
                 )
                 if self.warn:
                     w = ModelDriftWarning(
                         metric, ratio, band, iteration,
                         cost.strategy.name,
+                        node=node, mode=mode, detail=detail,
                     )
                     warnings.warn(w, stacklevel=3)
                     logger.warning(
                         "model drift: metric=%s ratio=%.3f band=[%.2f, %.2f] "
-                        "iteration=%d strategy=%s", metric, ratio,
-                        band[0], band[1], iteration, cost.strategy.name,
+                        "iteration=%d strategy=%s node=%s mode=%s",
+                        metric, ratio, band[0], band[1], iteration,
+                        cost.strategy.name, node, mode,
                     )
         self.readings.append(reading)
         return reading

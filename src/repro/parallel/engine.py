@@ -23,6 +23,7 @@ from ..core.engine import MemoizedMttkrp, contraction_work
 import time
 
 from ..kernels import get_kernel
+from ..obs import attribution as _attr
 from ..obs import events as _events
 from ..obs import memory as _mem
 from ..obs import trace as _trace
@@ -87,6 +88,8 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
 
         ctx = self._rebuild_context(node_id)
         kernel = self._chunk_kernel
+        attr = _attr.get_recorder() if _attr.enabled() else None
+        seconds = 0.0
         out = np.empty((sym.nnz, self.rank), dtype=VALUE_DTYPE)
         if _trace.enabled():
             def chunk_fn(s, g):
@@ -100,18 +103,21 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
                 self.pool.run([
                     (lambda s=s, g=g: chunk_fn(s, g)) for s, g in chunks
                 ])
-            if _events.enabled() and rec is not None:
-                _events.emit("node_rebuild", node=node_id, nnz=sym.nnz,
-                             seconds=rec.duration, chunks=len(chunks))
-        elif _events.enabled():
+            if rec is not None:
+                seconds = rec.duration
+                if _events.enabled():
+                    _events.emit("node_rebuild", node=node_id, nnz=sym.nnz,
+                                 seconds=seconds, chunks=len(chunks))
+        elif _events.enabled() or attr is not None:
             t0 = time.perf_counter()
             self.pool.run([
                 (lambda s=s, g=g: kernel.rebuild_chunk(ctx, s, g, out))
                 for s, g in chunks
             ])
-            _events.emit("node_rebuild", node=node_id, nnz=sym.nnz,
-                         seconds=time.perf_counter() - t0,
-                         chunks=len(chunks))
+            seconds = time.perf_counter() - t0
+            if _events.enabled():
+                _events.emit("node_rebuild", node=node_id, nnz=sym.nnz,
+                             seconds=seconds, chunks=len(chunks))
         else:
             self.pool.run([
                 (lambda s=s, g=g: kernel.rebuild_chunk(ctx, s, g, out))
@@ -124,6 +130,8 @@ class ParallelMemoizedMttkrp(MemoizedMttkrp):
             flops=flops, words=words,
             contractions=len(sym.delta_modes), node_builds=1,
         )
+        if attr is not None:
+            attr.on_rebuild(node_id, flops, words, seconds)
         if _trace.enabled():
             # Chunked rebuilds grow per-worker arena buffers; refresh the
             # workspace gauge here so the peak is visible even between

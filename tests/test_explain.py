@@ -1,0 +1,280 @@
+"""Tests for planner explainability and cost attribution.
+
+Covers :mod:`repro.obs.explain` (the ``repro-plan/v1`` artifact and its
+validator), :mod:`repro.obs.attribution` (exact per-node/per-mode
+predicted-vs-measured accounting), the drift watchdog's blame wiring, the
+``repro explain`` / ``repro plan --json`` CLI surfaces, and the
+:func:`repro.model.report.format_table` ragged-input guard.
+"""
+
+import copy
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.cpals import cp_als
+from repro.core.dtypes import VALUE_DTYPE
+from repro.core.engine import MemoizedMttkrp
+from repro.model.report import format_table
+from repro.model.search import search_candidates
+from repro.obs import attribution as obs_attr
+from repro.obs.explain import (PLAN_SCHEMA, explain_plan,
+                               validate_plan_artifact)
+from repro.perf import counters as perf
+from repro.synth.skewed import skewed_random_tensor
+
+
+@pytest.fixture(scope="module")
+def tensor4d():
+    return skewed_random_tensor((30, 25, 40, 12), 3000, 1.1, random_state=5)
+
+
+def _drive_attributed_sweeps(tensor, strategy, rank, n_iter=2):
+    """Run ``n_iter`` ALS-style MTTKRP sweeps under an enabled recorder."""
+    rec = obs_attr.get_recorder()
+    engine = MemoizedMttkrp(tensor, strategy)
+    rng = np.random.default_rng(0)
+    factors = [rng.random((d, rank), dtype=VALUE_DTYPE)
+               for d in tensor.shape]
+    engine.set_factors(factors)
+    rec.register(strategy, engine.symbolic.node_nnz(), rank)
+    reading = None
+    for i in range(n_iter):
+        rec.begin_window()
+        for n in engine.mode_order:
+            engine.mttkrp(n)
+            engine.update_factor(n, factors[n])
+        reading = rec.observe_iteration(i)
+    return rec, reading
+
+
+class TestFormatTable:
+    def test_ragged_row_raises(self):
+        with pytest.raises(ValueError, match="row 1 has 2 cells"):
+            format_table(["a", "b", "c"], [[1, 2, 3], [1, 2]])
+
+    def test_long_row_raises(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            format_table(["a", "b"], [[1, 2, 3]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError, match="header"):
+            format_table([], [[1]])
+
+    def test_well_formed_ok(self):
+        out = format_table(["x", "y"], [[1, 2.5], ["a", "b"]])
+        assert "x" in out and "2.5" in out
+
+
+class TestExplainPlan:
+    def test_artifact_valid_and_complete(self, tensor4d):
+        expl = explain_plan(tensor4d, rank=8)
+        artifact = expl.to_artifact()
+        validate_plan_artifact(artifact)
+        payload = artifact["result"]
+        assert payload["schema"] == PLAN_SCHEMA
+        # Every candidate the search produced must appear — no silent drops.
+        assert payload["n_candidates"] == len(search_candidates(tensor4d))
+        names = [c["name"] for c in payload["candidates"]]
+        assert payload["best"] in names
+
+    def test_winner_margins_and_dominant_terms(self, tensor4d):
+        expl = explain_plan(tensor4d, rank=8)
+        best = next(c for c in expl.candidates if c.name == expl.best)
+        assert best.rank_position == 1
+        assert best.margin_vs_best_seconds is None
+        for cand in expl.candidates:
+            if cand.name == best.name:
+                continue
+            assert cand.margin_vs_best_seconds >= 0.0
+            assert cand.margin_dominant_term in ("flops", "words")
+            assert cand.dominant_term in ("flops", "words")
+
+    def test_per_node_terms_sum_to_totals(self, tensor4d):
+        expl = explain_plan(tensor4d, rank=8)
+        for cand in expl.candidates:
+            assert sum(n["flops"] for n in cand.nodes) == \
+                cand.flops_per_iteration
+            assert sum(n["words"] for n in cand.nodes) == \
+                cand.words_per_iteration
+
+    def test_validator_rejects_tampering(self, tensor4d):
+        expl = explain_plan(tensor4d, rank=8)
+        good = expl.to_artifact()
+
+        doc = copy.deepcopy(good)
+        doc["result"]["candidates"][0]["nodes"][0]["flops"] += 1
+        with pytest.raises(ValueError, match="sum"):
+            validate_plan_artifact(doc)
+
+        doc = copy.deepcopy(good)
+        doc["result"]["candidates"].pop()
+        with pytest.raises(ValueError, match="n_candidates"):
+            validate_plan_artifact(doc)
+
+        doc = copy.deepcopy(good)
+        doc["result"]["schema"] = "repro-plan/v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_plan_artifact(doc)
+
+    def test_summary_renders(self, tensor4d):
+        expl = explain_plan(tensor4d, rank=8)
+        text = expl.summary(top=3)
+        assert expl.best in text
+        assert "per-node" in text.lower() or "node" in text
+
+
+class TestAttributionExactness:
+    def test_measured_matches_model_exactly(self, tensor4d):
+        strategy = explain_plan(tensor4d, rank=8).report.best.strategy
+        with obs_attr.recording():
+            with perf.counting() as c:
+                rec, reading = _drive_attributed_sweeps(
+                    tensor4d, strategy, rank=8
+                )
+            assert reading is not None
+            # Steady state: every node and mode exact on the numpy backend.
+            for row in reading.node_rows:
+                assert row["flops_ratio"] == 1.0
+                assert row["words_ratio"] == 1.0
+            for row in reading.mode_rows:
+                assert row["flops_ratio"] == 1.0
+            assert reading.max_node_err("flops") == 0.0
+            # Attribution must not invent work: summed attributed flops ==
+            # the engine's own perf counters for the same block.
+            total = sum(r.flops for r in rec.readings)
+            assert total == c.flops
+
+    def test_blame_none_when_exact(self, tensor4d):
+        strategy = explain_plan(tensor4d, rank=8).report.best.strategy
+        with obs_attr.recording():
+            _, reading = _drive_attributed_sweeps(tensor4d, strategy, rank=8)
+        assert reading.blame("flops") is None
+        assert reading.blame("words") is None
+
+    def test_blame_names_offending_node(self, tensor4d):
+        strategy = explain_plan(tensor4d, rank=8).report.best.strategy
+        with obs_attr.recording():
+            rec, reading = _drive_attributed_sweeps(
+                tensor4d, strategy, rank=8
+            )
+        # Corrupt one prediction: the blame must point at that node.
+        target = reading.node_rows[0]["node"]
+        for row in reading.node_rows:
+            if row["node"] == target:
+                row["predicted_flops"] = max(1, row["predicted_flops"] // 2)
+                row["flops_ratio"] = (
+                    row["measured_flops"] / row["predicted_flops"]
+                )
+        blame = reading.blame("flops")
+        assert blame is not None
+        assert blame["node"] == target
+        assert "why" in blame
+
+    def test_recording_restores_disabled(self):
+        assert not obs_attr.enabled()
+        with obs_attr.recording():
+            assert obs_attr.enabled()
+        assert not obs_attr.enabled()
+
+    def test_disabled_recorder_stays_empty(self, tensor4d):
+        obs_attr.disable()
+        rec = obs_attr.get_recorder()
+        rec.reset()
+        strategy = search_candidates(tensor4d)[0]
+        engine = MemoizedMttkrp(tensor4d, strategy)
+        rng = np.random.default_rng(1)
+        engine.set_factors(
+            [rng.random((d, 4), dtype=VALUE_DTYPE) for d in tensor4d.shape]
+        )
+        engine.mttkrp(0)
+        assert not rec.has_data
+
+    def test_cp_als_collects_readings(self, tensor4d):
+        with obs_attr.recording():
+            result = cp_als(tensor4d, 4, n_iter_max=3, tol=0.0,
+                            random_state=0)
+        assert result.attribution_readings is not None
+        assert len(result.attribution_readings) == result.n_iterations
+        reading = result.attribution_readings[-1]
+        assert reading.max_node_err("flops") == 0.0
+
+    def test_snapshot_schema(self, tensor4d):
+        strategy = explain_plan(tensor4d, rank=8).report.best.strategy
+        with obs_attr.recording():
+            rec, _ = _drive_attributed_sweeps(tensor4d, strategy, rank=8)
+            snap = rec.snapshot()
+        assert snap["schema"] == "repro-attr/v1"
+        assert snap["nodes"] and snap["modes"]
+        text = obs_attr.format_attribution(snap)
+        assert "node" in text
+
+
+class TestWatchdogBlame:
+    def test_drift_warning_names_node_and_mode(self, tensor4d):
+        from repro.model.cost import cost_from_symbolic
+        from repro.obs.watchdog import DriftWatchdog, ModelDriftWarning
+
+        strategy = explain_plan(tensor4d, rank=8).report.best.strategy
+        with obs_attr.recording():
+            with perf.counting() as c:
+                rec, reading = _drive_attributed_sweeps(
+                    tensor4d, strategy, rank=8, n_iter=1
+                )
+        engine = MemoizedMttkrp(tensor4d, strategy)
+        # A wrong-rank cost report makes the aggregate flops check fire;
+        # a tampered reading gives blame a worst-offender node to name.
+        cost = cost_from_symbolic(engine.symbolic, 4)
+        watchdog = DriftWatchdog(cost)
+        reading.node_rows[0]["predicted_flops"] = max(
+            1, reading.node_rows[0]["predicted_flops"] // 2
+        )
+        reading.node_rows[0]["flops_ratio"] = 2.0
+        with pytest.warns(ModelDriftWarning, match="worst offender node"):
+            watchdog.observe(0, c, 0.01, attribution=reading)
+
+
+class TestCliSurfaces:
+    def _write_tensor(self, tmp_path):
+        from repro.io.frostt import write_tns
+
+        t = skewed_random_tensor((12, 10, 14, 8), 600, 1.0, random_state=2)
+        path = tmp_path / "t.tns"
+        write_tns(t, path)
+        return str(path), t
+
+    def test_plan_json_envelope(self, tmp_path, capsys):
+        path, t = self._write_tensor(tmp_path)
+        assert main(["plan", path, "--rank", "4", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_plan_artifact(doc)
+        assert doc["schema"] == "repro-bench/v1"
+        assert doc["result"]["n_candidates"] == len(search_candidates(t))
+
+    def test_plan_explain_text(self, tmp_path, capsys):
+        path, _ = self._write_tensor(tmp_path)
+        assert main(["plan", path, "--rank", "4", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out.lower()
+
+    def test_explain_measure_exact(self, tmp_path, capsys):
+        path, _ = self._write_tensor(tmp_path)
+        assert main(["explain", path, "--rank", "4", "--measure",
+                     "--iters", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_plan_artifact(doc)
+        measured = doc["result"]["measured"]
+        assert measured["schema"] == "repro-attr/v1"
+        for row in measured["nodes"]:
+            assert row["flops_ratio"] == 1.0
+        assert not obs_attr.enabled()
+
+    def test_explain_out_file(self, tmp_path, capsys):
+        path, _ = self._write_tensor(tmp_path)
+        out_path = tmp_path / "plan.json"
+        assert main(["explain", path, "--rank", "4",
+                     "--out", str(out_path)]) == 0
+        with open(out_path) as fh:
+            validate_plan_artifact(json.load(fh))

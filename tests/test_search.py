@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
 
 from repro.core import strategy as S
 from repro.core.engine import MemoizedMttkrp
@@ -112,3 +114,52 @@ class TestSearchCandidates:
         assert report.best.feasible
         # Memoization must be predicted to win at order 10.
         assert report.best.strategy.n_intermediates() > 0
+
+    def test_signatures_unique_across_orders(self):
+        for order in (3, 4, 6, 9):
+            t = skewed_random_tensor((6,) * order, 100, 1.0,
+                                     random_state=order)
+            sigs = [c.signature() for c in search_candidates(t)]
+            assert len(sigs) == len(set(sigs))
+
+    def test_greedy_included_below_exhaustive_limit(self, tensor6d):
+        """Order <= limit: the size-sorted greedy tree joins the Catalan
+        enumeration instead of being crowded out by it."""
+        counter = DistinctCounter(tensor6d)
+        g = greedy_tree(tensor6d, counter=counter)
+        cands = search_candidates(tensor6d, counter=counter)
+        assert g.signature() in {c.signature() for c in cands}
+        # The exhaustive family is still there alongside it.
+        assert len(cands) > len(S.default_candidates(6)) - 1
+
+    def test_greedy_included_above_exhaustive_limit(self):
+        """Order > limit: both greedy orders present, no Catalan blow-up."""
+        t = skewed_random_tensor((4, 20, 6, 15, 3, 9, 12, 5, 8), 2500, 1.1,
+                                 random_state=7)
+        cands = search_candidates(t)
+        names = [c.name for c in cands]
+        assert "greedy" in names
+        assert "greedy-natural" in names
+        assert len(cands) < 30
+
+    def test_order3_degenerate(self):
+        """Order 3 leaves nothing to memoize: every family collapses to a
+        handful of distinct shapes, all of them valid."""
+        t = skewed_random_tensor((10, 12, 9), 300, 1.0, random_state=0)
+        cands = search_candidates(t)
+        sigs = [c.signature() for c in cands]
+        assert len(sigs) == len(set(sigs))
+        assert cands
+        for c in cands:
+            assert c.n_modes == 3
+            assert sorted(c.mode_order) == [0, 1, 2]
+
+    @given(order=hst.integers(3, 9), seed=hst.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_leaves_cover_all_modes_exactly_once(self, order, seed):
+        t = skewed_random_tensor((5,) * order, 80, 1.0, random_state=seed)
+        for cand in search_candidates(t):
+            leaf_modes = sorted(
+                m for node in cand.nodes if node.is_leaf for m in node.modes
+            )
+            assert leaf_modes == list(range(order))
