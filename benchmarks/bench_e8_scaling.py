@@ -1,13 +1,27 @@
-"""E8 — multicore strong scaling (figure)."""
+"""E8 — multicore strong scaling (figure).
 
+Times the thread-tier memoized engine, then sweeps the process tier across
+worker counts and index layouts ({numpy, alto}) on the order-4 acceptance
+workload, asserting the layouts bitwise identical and recording one
+``repro-bench-history/v1`` series per (tier, layout, workers) combination
+so ``repro bench-diff`` gates regressions on every cell of the sweep.
+"""
+
+import os
+import warnings
+
+import numpy as np
 import pytest
-from conftest import save_result
+from conftest import record_history, save_result
 
 from repro.core.cpals import initialize_factors
 from repro.core.strategy import balanced_binary
 from repro.experiments import e8_scaling
 from repro.parallel.engine import ParallelMemoizedMttkrp
+from repro.parallel.procpool import ProcessMttkrp
 from repro.synth.datasets import load_dataset
+
+HOST_CPUS = os.cpu_count() or 1
 
 
 @pytest.mark.parametrize("n_workers", [1, 4])
@@ -26,6 +40,65 @@ def test_parallel_iteration(benchmark, bench_scale, bench_rank, n_workers):
 
         one_iteration()
         benchmark(one_iteration)
+    record_history(
+        f"e8.thread.p{n_workers}", benchmark.stats.stats.min,
+        workers=n_workers, host_cpus=HOST_CPUS,
+    )
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+@pytest.mark.parametrize("layout", ["numpy", "alto"])
+def test_process_tier_iteration(benchmark, bench_scale, bench_rank,
+                                n_workers, layout):
+    """Process-tier sweep: shared-memory COO vs ALTO packed codes.
+
+    Worker counts past ``os.cpu_count()`` run deliberately oversubscribed
+    (the sweep's whole point); ``host_cpus`` rides along in the history
+    knobs so cross-machine diffs stay interpretable.
+    """
+    tensor = load_dataset("delicious", scale=bench_scale)
+    factors = initialize_factors(tensor, bench_rank, random_state=0)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        backend = ProcessMttkrp(
+            tensor, n_workers, layout=layout, allow_oversubscribe=True
+        )
+    try:
+        backend.set_factors(factors)
+
+        def one_iteration():
+            for n in backend.mode_order:
+                backend.mttkrp(n)
+                backend.update_factor(n, factors[n])
+
+        one_iteration()
+        benchmark(one_iteration)
+    finally:
+        backend.close()
+    record_history(
+        f"e8.process.{layout}.p{n_workers}", benchmark.stats.stats.min,
+        workers=n_workers, layout=layout, host_cpus=HOST_CPUS,
+    )
+
+
+def test_process_layouts_bitwise_identical(bench_scale, bench_rank):
+    """The acceptance invariant: alto and numpy layouts agree bit for bit."""
+    tensor = load_dataset("delicious", scale=bench_scale)
+    factors = initialize_factors(tensor, bench_rank, random_state=0)
+    outs = {}
+    for layout in ("numpy", "alto"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            backend = ProcessMttkrp(
+                tensor, 4, layout=layout, allow_oversubscribe=True
+            )
+        try:
+            backend.set_factors(factors)
+            outs[layout] = [backend.mttkrp(n) for n in backend.mode_order]
+        finally:
+            backend.close()
+    for a, b in zip(outs["numpy"], outs["alto"]):
+        assert np.array_equal(a, b)
 
 
 def test_e8_table(benchmark, bench_scale, bench_rank, results_dir):
@@ -35,3 +108,11 @@ def test_e8_table(benchmark, bench_scale, bench_rank, results_dir):
     )
     save_result(result, results_dir)
     assert result.observations["modeled_monotone"]
+    assert result.observations["layouts_bitwise_identical"]
+    assert result.observations["modeled_process_beats_thread_at_4"]
+    # The measured claim needs real cores behind the workers.
+    if result.observations["host_cpus"] >= 4:
+        process_speedup_4 = (result.observations["process_seconds"][1]
+                             / result.observations["process_seconds"][4])
+        thread_speedup_4 = result.observations["measured_speedup"][4]
+        assert process_speedup_4 > thread_speedup_4

@@ -15,6 +15,7 @@ Backends: ``numpy`` (default; bitwise identical to the original engine),
 differential tests), and ``numba`` (fused ``prange`` loop, auto-detected).
 """
 
+from .alto import AltoEncoding, AltoKernel, aligned_chunks, fits_alto
 from .backends import KernelBackend, NumpyKernel, RebuildContext, ReferenceKernel
 from .blocking import (CANDIDATE_BLOCK_ROWS, autotune_block_rows,
                        clear_tuning_cache, default_block_rows,
@@ -27,6 +28,7 @@ from .workspace import WorkspaceArena
 
 register_kernel(NumpyKernel.name, NumpyKernel)
 register_kernel(ReferenceKernel.name, ReferenceKernel)
+register_kernel(AltoKernel.name, AltoKernel)
 
 try:  # optional fused backend — self-registers on import
     from . import numba_backend  # noqa: F401
@@ -34,6 +36,8 @@ except Exception as _numba_err:  # pragma: no cover - depends on environment
     register_unavailable("numba", f"numba import failed: {_numba_err}")
 
 __all__ = [
+    "AltoEncoding",
+    "AltoKernel",
     "CANDIDATE_BLOCK_ROWS",
     "DEFAULT_KERNEL",
     "KernelBackend",
@@ -42,7 +46,9 @@ __all__ = [
     "RebuildContext",
     "ReferenceKernel",
     "WorkspaceArena",
+    "aligned_chunks",
     "autotune_block_rows",
+    "fits_alto",
     "available_kernels",
     "build_node_index",
     "clear_tuning_cache",

@@ -32,6 +32,7 @@ class NodeKernelIndex:
     __slots__ = (
         "node_id", "delta_modes", "n_sources", "n_segments", "gather",
         "perm", "starts", "identity", "_blocks", "_stacked", "_perm_full",
+        "_alto",
     )
 
     def __init__(self, node_id: int, delta_modes: tuple[int, ...],
@@ -48,6 +49,9 @@ class NodeKernelIndex:
         self._blocks: dict[int, list] = {}
         self._stacked: np.ndarray | None = None
         self._perm_full: np.ndarray | None = None
+        #: lazily built bit-packed gather (see repro.kernels.alto);
+        #: False = packing checked and not applicable.
+        self._alto = None
 
     def blocks_for(self, block_rows: int) -> list:
         """Cached segment-aligned block list for one block size."""
@@ -81,6 +85,8 @@ class NodeKernelIndex:
             total += self.perm.nbytes
         if self._stacked is not None:
             total += self._stacked.nbytes
+        if self._alto is not None and self._alto is not False:
+            total += self._alto.codes.nbytes
         return int(total)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,8 +1,10 @@
 """Performance model and the adaptive (model-driven) strategy planner."""
 
 from .calibrate import calibrate_machine, reset_calibration
-from .cost import (DEFAULT_MACHINE, CostReport, MachineModel,
-                   cost_from_symbolic, cost_report, iteration_flops_words,
+from .cost import (DEFAULT_EXECUTION, DEFAULT_MACHINE, CostReport,
+                   ExecutionCandidate, ExecutionParams, MachineModel,
+                   cost_from_symbolic, cost_report, execution_candidates,
+                   iteration_flops_words, recommend_execution,
                    simulate_peak_value_bytes, symbolic_index_bytes)
 from .fit import WorkSample, collect_samples, fit_machine_model, fitted_machine
 from .overlap import DistinctCounter
@@ -13,12 +15,17 @@ from .report import format_table
 __all__ = [
     "calibrate_machine",
     "reset_calibration",
+    "DEFAULT_EXECUTION",
     "DEFAULT_MACHINE",
     "CostReport",
+    "ExecutionCandidate",
+    "ExecutionParams",
     "MachineModel",
     "cost_from_symbolic",
     "cost_report",
+    "execution_candidates",
     "iteration_flops_words",
+    "recommend_execution",
     "simulate_peak_value_bytes",
     "symbolic_index_bytes",
     "DistinctCounter",

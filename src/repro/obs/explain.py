@@ -109,6 +109,9 @@ class PlanExplanation:
     candidates: list[CandidateExplanation]
     notes: list[str]
     report: object = field(repr=False, compare=False, default=None)
+    #: execution tier/layout decision (repro.model.cost.execution_candidates):
+    #: {"n_workers", "recommended": {...}, "candidates": [...]} or None.
+    execution: dict | None = None
 
     def to_dict(self) -> dict:
         """The ``repro-plan/v1`` payload."""
@@ -127,6 +130,7 @@ class PlanExplanation:
             "n_candidates": len(self.candidates),
             "candidates": [c.to_dict() for c in self.candidates],
             "notes": list(self.notes),
+            "execution": self.execution,
         }
 
     def to_artifact(self, **meta) -> dict:
@@ -175,6 +179,37 @@ class PlanExplanation:
             node_rows,
             title=f"winner {best.name!r}: per-node predicted cost terms",
         ))
+        if self.execution:
+            rec = self.execution.get("recommended") or {}
+            exec_rows = []
+            for c in self.execution.get("candidates", []):
+                terms = c.get("terms", {})
+                overhead = (
+                    terms.get("gil_seconds", 0.0)
+                    + terms.get("sync_seconds", 0.0)
+                    + terms.get("ipc_seconds", 0.0)
+                    + terms.get("reduction_seconds", 0.0)
+                )
+                exec_rows.append([
+                    c["tier"], c["layout"],
+                    "yes" if c["feasible"] else "NO",
+                    ("-" if not c["feasible"]
+                     else round(c["predicted_seconds"] * 1e3, 3)),
+                    ("-" if not c["feasible"]
+                     else round(c["index_bytes"] / 1e6, 3)),
+                    ("-" if not c["feasible"]
+                     else round(overhead * 1e3, 3)),
+                    ("<-" if (c["tier"] == rec.get("tier")
+                              and c["layout"] == rec.get("layout")) else ""),
+                ])
+            parts.append(format_table(
+                ["tier", "layout", "feasible", "pred ms", "index MB",
+                 "overhead ms", "pick"],
+                exec_rows,
+                title=(f"execution decision at "
+                       f"{self.execution.get('n_workers')} workers: "
+                       f"{rec.get('tier')}/{rec.get('layout')}"),
+            ))
         return "\n\n".join(parts)
 
 
@@ -195,6 +230,7 @@ def explain_plan(
     count_method: str = "exact",
     sample_size: int = 100_000,
     random_state=0,
+    n_workers: int | None = None,
 ) -> PlanExplanation:
     """Run the planner and keep the complete decision trace.
 
@@ -202,9 +238,13 @@ def explain_plan(
     :func:`repro.model.planner.plan` — the explanation is built from the
     planner's own :class:`~repro.model.cost.CostReport` per candidate
     (including its ``node_nnz``), so no distinct-counting is repeated and
-    the artifact reflects exactly the numbers the decision used.
+    the artifact reflects exactly the numbers the decision used.  When
+    ``n_workers`` is given the explanation also carries the execution
+    tier/layout decision ({thread, process} x {numpy, alto}) priced with
+    the same machine model.
     """
-    from ..model.cost import node_cost_terms, per_mode_cost
+    from ..model.cost import (execution_candidates, node_cost_terms,
+                              per_mode_cost, recommend_execution)
     from ..model.planner import plan
 
     report = plan(
@@ -270,6 +310,18 @@ def explain_plan(
             ],
             per_mode=per_mode_cost(strat, cost.node_nnz, rank),
         ))
+    execution = None
+    if n_workers is not None:
+        exec_cands = execution_candidates(
+            tensor.shape, tensor.nnz, rank, n_workers, machine_model
+        )
+        execution = {
+            "n_workers": int(n_workers),
+            "recommended": recommend_execution(
+                tensor.shape, tensor.nnz, rank, n_workers, machine_model
+            ).to_dict(),
+            "candidates": [c.to_dict() for c in exec_cands],
+        }
     return PlanExplanation(
         tensor_shape=tuple(tensor.shape),
         tensor_nnz=tensor.nnz,
@@ -285,6 +337,7 @@ def explain_plan(
         candidates=explained,
         notes=list(report.notes),
         report=report,
+        execution=execution,
     )
 
 
@@ -346,4 +399,29 @@ def validate_plan_artifact(doc: dict) -> None:
             raise ValueError(
                 f"candidate {c['name']!r}: per-mode flops sum {mode_flops} "
                 f"!= iteration total {c['flops_per_iteration']}"
+            )
+    # Additive since the execution-tier model: absent/None in older
+    # artifacts is fine; when present, the pick must be a feasible
+    # candidate and no feasible candidate may beat it.
+    execution = payload.get("execution")
+    if execution is not None:
+        rec = execution.get("recommended")
+        exec_cands = execution.get("candidates")
+        if not isinstance(rec, dict) or not exec_cands:
+            raise ValueError(
+                "execution section needs 'recommended' and 'candidates'"
+            )
+        feasible = [c for c in exec_cands if c.get("feasible")]
+        if not feasible:
+            raise ValueError("execution section has no feasible candidate")
+        keys = {(c["tier"], c["layout"]) for c in feasible}
+        if (rec.get("tier"), rec.get("layout")) not in keys:
+            raise ValueError(
+                f"recommended execution {rec.get('tier')}/{rec.get('layout')} "
+                f"is not a feasible candidate"
+            )
+        best_sec = min(c["predicted_seconds"] for c in feasible)
+        if rec["predicted_seconds"] > best_sec:
+            raise ValueError(
+                "recommended execution is not the cheapest feasible candidate"
             )

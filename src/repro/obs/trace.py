@@ -33,8 +33,8 @@ from contextlib import contextmanager
 from .metrics import registry as _metrics
 
 __all__ = [
-    "SpanRecord", "Tracer", "span", "enabled", "enable", "disable",
-    "tracing", "get_tracer", "current_span_id",
+    "SpanRecord", "Tracer", "span", "record_span", "enabled", "enable",
+    "disable", "tracing", "get_tracer", "current_span_id",
 ]
 
 
@@ -229,6 +229,33 @@ def span(kind: str, **attrs):
     if not _enabled:
         return _NULL_SPAN
     return _Span(kind, attrs)
+
+
+def record_span(kind: str, t0: float, t1: float, *,
+                parent: int | None = None, tid: int | None = None,
+                **attrs) -> SpanRecord | None:
+    """Record an already-measured region as a finished span.
+
+    For work that happened where the context-manager API cannot reach —
+    e.g. inside a worker *process*, whose duration is reported back to the
+    parent after the fact.  The span gets a fresh id, the caller's current
+    span as parent (unless ``parent`` is given), and feeds the same metrics
+    histogram as :func:`span`.  No-op (returns None) while tracing is off.
+    """
+    if not _enabled:
+        return None
+    rec = SpanRecord(
+        id=next(_ids),
+        parent=parent if parent is not None else _current.get(),
+        kind=kind,
+        t0=t0,
+        tid=tid if tid is not None else threading.get_ident(),
+        attrs=attrs,
+        t1=t1,
+    )
+    _tracer.record(rec)
+    _metrics.observe_span(kind, rec.duration)
+    return rec
 
 
 @contextmanager

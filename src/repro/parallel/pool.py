@@ -11,6 +11,7 @@ from __future__ import annotations
 import contextvars
 import os
 import threading
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
@@ -25,22 +26,85 @@ from ..obs.metrics import registry as _metrics
 from .partition import partition_nonzeros
 
 
-def default_workers() -> int:
-    """Worker count default: ``REPRO_WORKERS`` override, else cpu count
-    capped at 8 (memory-bound kernels stop scaling past that on typical
-    desktop memory systems)."""
+def _env_workers() -> int | None:
+    """Parsed ``REPRO_WORKERS`` override (None when unset)."""
     raw = (os.environ.get("REPRO_WORKERS") or "").strip()
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"REPRO_WORKERS must be a positive integer, got {raw!r}"
-            ) from None
-        if value < 1:
-            raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
-        return value
-    return max(1, min(os.cpu_count() or 1, 8))
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_WORKERS must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
+
+
+def oversubscription_allowed() -> bool:
+    """Whether ``REPRO_ALLOW_OVERSUBSCRIBE`` opts out of worker clamping."""
+    raw = (os.environ.get("REPRO_ALLOW_OVERSUBSCRIBE") or "").strip().lower()
+    return raw in {"1", "true", "yes", "on"}
+
+
+def resolve_worker_count(
+    requested: int | None = None,
+    *,
+    clamp: bool = True,
+    allow_oversubscribe: bool | None = None,
+    tier: str = "thread",
+) -> int:
+    """One precedence rule for every execution tier: explicit ``requested``
+    (``--workers`` / an ``n_workers=`` argument) beats ``REPRO_WORKERS``,
+    which beats the cpu-count default (capped at 8).
+
+    Counts above ``os.cpu_count()`` are oversubscription: harmless for
+    threads (GIL-released kernels interleave), but each extra *process*
+    burns a core and a copy of the interpreter.  With ``clamp=True`` such
+    counts are reduced to the cpu count with a ``RuntimeWarning`` naming
+    both numbers; ``allow_oversubscribe=True`` (or the
+    ``REPRO_ALLOW_OVERSUBSCRIBE=1`` environment opt-out, for deliberate
+    scaling sweeps on small machines) keeps the requested count, still
+    with a warning instead of silence.
+    """
+    if requested is not None:
+        value = check_positive_int(requested, "n_workers")
+        source = "n_workers"
+    else:
+        env = _env_workers()
+        if env is not None:
+            value = env
+            source = "REPRO_WORKERS"
+        else:
+            return max(1, min(os.cpu_count() or 1, 8))
+    ncpu = os.cpu_count() or 1
+    if value > ncpu:
+        if allow_oversubscribe is None:
+            allow_oversubscribe = oversubscription_allowed()
+        if not clamp or allow_oversubscribe:
+            warnings.warn(
+                f"{source}={value} oversubscribes this machine "
+                f"({ncpu} cpus); proceeding as requested ({tier} tier)",
+                RuntimeWarning, stacklevel=2,
+            )
+        else:
+            warnings.warn(
+                f"{source}={value} exceeds os.cpu_count()={ncpu}; "
+                f"clamping to {ncpu} ({tier} tier; set "
+                f"REPRO_ALLOW_OVERSUBSCRIBE=1 to keep the requested count)",
+                RuntimeWarning, stacklevel=2,
+            )
+            value = ncpu
+    return value
+
+
+def default_workers() -> int:
+    """Worker count default: ``REPRO_WORKERS`` override (validated and
+    clamped against the cpu count by :func:`resolve_worker_count`), else
+    cpu count capped at 8 (memory-bound kernels stop scaling past that on
+    typical desktop memory systems)."""
+    return resolve_worker_count(None)
 
 
 class WorkerPool:
@@ -51,10 +115,13 @@ class WorkerPool:
     """
 
     def __init__(self, n_workers: int | None = None):
-        self.n_workers = check_positive_int(
-            n_workers if n_workers is not None else default_workers(),
-            "n_workers",
-        )
+        # Explicit thread counts are honored even past the cpu count
+        # (threads oversubscribe harmlessly); env/default counts go
+        # through the shared resolution + clamp.
+        if n_workers is not None:
+            self.n_workers = check_positive_int(n_workers, "n_workers")
+        else:
+            self.n_workers = resolve_worker_count(None)
         self._executor: ThreadPoolExecutor | None = None
         if self.n_workers > 1:
             self._executor = ThreadPoolExecutor(max_workers=self.n_workers)

@@ -1,0 +1,205 @@
+"""Shared-memory ndarrays for the process-parallel tier.
+
+The process tier's whole point is that workers read factor matrices and
+gather indices *in place*: the parent creates each array in a
+:mod:`multiprocessing.shared_memory` segment, ships only the tiny
+``(name, shape, dtype)`` spec through the task pickle, and workers map the
+segment once and cache the view.  Nothing numeric crosses the pipe — per
+MTTKRP dispatch the IPC payload is a few hundred bytes regardless of
+tensor size.
+
+Lifecycle rules (the part that goes wrong in practice):
+
+* the **parent owns** every segment: it creates, and it alone unlinks.
+  :class:`SharedArrayGroup` tracks every array it created and a
+  ``weakref.finalize`` guarantees unlink-on-collection even when a test
+  or a crashed run never calls :meth:`close` — no segment outlives the
+  owning process.
+* **worker attachments add no tracker state**.  On Python 3.13+
+  :func:`attach_array` passes ``track=False``.  Before 3.13 every attach
+  registers itself (cpython#82300) — but multiprocessing children *share*
+  the parent's resource tracker (fork inherits its pipe, spawn passes it),
+  whose per-name cache is a set: the child's duplicate registration
+  dedupes to a no-op, and the parent's ``unlink`` clears the single entry.
+  Crucially the child must **not** call ``unregister`` either — that would
+  strip the parent's own registration from the shared tracker and make the
+  parent's later unlink-unregister die with a ``KeyError`` inside the
+  tracker process.  The CI smoke job asserts that worker runs produce no
+  ``resource_tracker`` noise on stderr.
+"""
+
+from __future__ import annotations
+
+import atexit
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "SharedArraySpec", "SharedArrayGroup", "attach_array",
+    "detach_all", "n_attached",
+]
+
+
+class SharedArraySpec:
+    """Picklable handle to one shared array: segment name, shape, dtype."""
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: str):
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = str(dtype)
+
+    def __getstate__(self):
+        return (self.name, self.shape, self.dtype)
+
+    def __setstate__(self, state):
+        self.name, self.shape, self.dtype = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SharedArraySpec({self.name!r}, {self.shape}, {self.dtype!r})"
+
+
+def _unlink_segments(segments: list) -> None:
+    """Best-effort close+unlink of owned segments (finalizer-safe).
+
+    ``close`` can raise ``BufferError`` when a caller still holds a view
+    into the mapping; the unlink (the part that prevents a leak — on
+    Linux the mapping itself dies with the process) is attempted anyway.
+    """
+    for seg in segments:
+        try:
+            seg.close()
+        except (BufferError, OSError):
+            pass
+        try:
+            seg.unlink()
+        except (FileNotFoundError, OSError):  # already gone: fine
+            pass
+    segments.clear()
+
+
+class SharedArrayGroup:
+    """All shared arrays owned by one parent-side object.
+
+    ``create(key, shape, dtype)`` allocates a segment and returns the
+    writable parent-side view; ``spec(key)`` returns the picklable handle
+    workers attach with.  :meth:`close` (or garbage collection, via the
+    registered finalizer) unlinks everything.
+    """
+
+    def __init__(self, tag: str = "repro"):
+        self._tag = tag
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._arrays: dict[str, np.ndarray] = {}
+        self._specs: dict[str, SharedArraySpec] = {}
+        self._finalizer = weakref.finalize(
+            self, _unlink_segments, self._segments
+        )
+
+    def create(self, key: str, shape, dtype) -> np.ndarray:
+        if key in self._arrays:
+            raise ValueError(f"shared array {key!r} already exists")
+        dt = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * dt.itemsize)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(seg)
+        arr = np.ndarray(shape, dtype=dt, buffer=seg.buf)
+        self._arrays[key] = arr
+        self._specs[key] = SharedArraySpec(seg.name, shape, dt.str)
+        return arr
+
+    def put(self, key: str, source: np.ndarray) -> np.ndarray:
+        """Create (or reuse) a segment shaped like ``source`` and copy it in."""
+        arr = self._arrays.get(key)
+        if arr is None or arr.shape != source.shape or arr.dtype != source.dtype:
+            if arr is not None:
+                raise ValueError(
+                    f"shared array {key!r} exists with shape {arr.shape}, "
+                    f"cannot hold {source.shape}"
+                )
+            arr = self.create(key, source.shape, source.dtype)
+        np.copyto(arr, source)
+        return arr
+
+    def array(self, key: str) -> np.ndarray:
+        return self._arrays[key]
+
+    def spec(self, key: str) -> SharedArraySpec:
+        return self._specs[key]
+
+    def specs(self) -> dict[str, SharedArraySpec]:
+        return dict(self._specs)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._arrays
+
+    def nbytes(self) -> int:
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent)."""
+        # Views into the buffers must die before close(): drop ours first.
+        self._arrays.clear()
+        self._specs.clear()
+        _unlink_segments(self._segments)
+
+    def __enter__(self) -> "SharedArrayGroup":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- worker side -----------------------------------------------------------
+
+#: per-process attachment cache: segment name -> (SharedMemory, ndarray).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+#: whether this Python exposes SharedMemory(track=...) (3.13+).
+_HAS_TRACK = "track" in shared_memory.SharedMemory.__init__.__code__.co_varnames
+
+
+def attach_array(spec: SharedArraySpec) -> np.ndarray:
+    """Map ``spec``'s segment read-write, adding no tracker state.
+
+    Cached per process: repeated attaches of the same segment (every
+    MTTKRP dispatch) return the same view.  On 3.13+ the attach is
+    untracked (``track=False``); before that the attach's registration
+    dedupes inside the tracker the worker shares with the parent (see the
+    module docstring — and never call ``unregister`` here, that would
+    strip the parent's registration from the shared tracker).
+    """
+    cached = _ATTACHED.get(spec.name)
+    if cached is not None:
+        return cached[1]
+    if _HAS_TRACK:  # pragma: no cover - python >= 3.13
+        seg = shared_memory.SharedMemory(name=spec.name, track=False)
+    else:
+        seg = shared_memory.SharedMemory(name=spec.name)
+    arr = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=seg.buf)
+    _ATTACHED[spec.name] = (seg, arr)
+    return arr
+
+
+def detach_all() -> int:
+    """Drop every cached attachment in this process; returns the count."""
+    n = len(_ATTACHED)
+    for seg, _arr in list(_ATTACHED.values()):
+        try:
+            seg.close()
+        except (BufferError, OSError):  # pragma: no cover - view still live
+            pass
+    _ATTACHED.clear()
+    return n
+
+
+def n_attached() -> int:
+    """Number of segments currently mapped in this process."""
+    return len(_ATTACHED)
+
+
+atexit.register(detach_all)

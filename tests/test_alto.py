@@ -1,0 +1,228 @@
+"""Tests for the ALTO bit-packed layout (repro.kernels.alto).
+
+The load-bearing claim: packing is lossless (decode == the original
+integers), so every consumer — the ``alto`` kernel backend, the
+thread-tier COO backend, the process tier's ``layout="alto"`` — is
+*bitwise* identical to its numpy-layout counterpart, not merely close.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hst
+
+from repro.core import strategy as S
+from repro.core.engine import MemoizedMttkrp
+from repro.kernels.alto import (MAX_BITS, AltoEncoding, aligned_chunks,
+                                alto_bits, fits_alto)
+from repro.parallel import AltoCooMttkrp, ParallelCooMttkrp
+
+from .helpers import random_coo, random_factors
+
+
+class TestBits:
+    def test_alto_bits_values(self):
+        assert alto_bits((1, 2, 3, 4, 5, 1024, 1025)) == [0, 1, 2, 2, 3, 10, 11]
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            alto_bits((4, 0))
+
+    def test_fits_alto_boundary(self):
+        assert fits_alto((1 << 31, 1 << 31, 2))  # 31 + 31 + 1 = 63
+        assert not fits_alto((1 << 31, 1 << 31, 4))  # 64 bits
+
+    def test_encoding_rejects_overflow(self):
+        dims = (1 << 32, 1 << 32)
+        with pytest.raises(ValueError, match=str(MAX_BITS)):
+            AltoEncoding(dims, np.zeros(0, dtype=np.uint64))
+
+
+@hst.composite
+def index_cases(draw):
+    order = draw(hst.integers(2, 6))
+    shape = tuple(draw(hst.integers(1, 40)) for _ in range(order))
+    nnz = draw(hst.integers(0, 120))
+    seed = draw(hst.integers(0, 2**31 - 1))
+    return shape, nnz, seed
+
+
+class TestEncoding:
+    @given(case=index_cases())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_exact(self, case):
+        shape, nnz, seed = case
+        rng = np.random.default_rng(seed)
+        idx = np.column_stack(
+            [rng.integers(0, s, size=nnz) for s in shape]
+        ).astype(np.int64)
+        enc = AltoEncoding.encode(idx, shape)
+        for m in range(len(shape)):
+            np.testing.assert_array_equal(enc.decode(m), idx[:, m])
+
+    def test_decode_range(self):
+        rng = np.random.default_rng(3)
+        idx = np.column_stack([rng.integers(0, 9, 50), rng.integers(0, 7, 50)])
+        enc = AltoEncoding.encode(idx, (9, 7))
+        np.testing.assert_array_equal(enc.decode(1, 10, 30), idx[10:30, 1])
+
+    def test_code_order_is_lexicographic(self):
+        """Mode-major packing: canonical (sorted) coordinates give sorted
+        codes, so contiguous nonzero ranges are linearization ranges."""
+        rng = np.random.default_rng(5)
+        tensor = random_coo(rng, (13, 11, 7), 300)
+        enc = AltoEncoding.encode(tensor.idx, tensor.shape)
+        assert np.all(np.diff(enc.codes.astype(np.int64)) >= 0)
+
+    def test_storage_is_one_word_per_nonzero(self):
+        rng = np.random.default_rng(6)
+        tensor = random_coo(rng, (10, 10, 10, 10), 200)
+        enc = AltoEncoding.encode(tensor.idx, tensor.shape)
+        assert enc.nbytes() == tensor.nnz * 8
+        assert enc.nbytes() * 4 == tensor.idx.nbytes  # order-4: 4x smaller
+
+
+class TestAlignedChunks:
+    def test_boundaries_on_mode0_edges(self):
+        mode0 = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2, 3])
+        for k in (2, 3, 4):
+            chunks = aligned_chunks(mode0, k)
+            assert chunks[0][0] == 0 and chunks[-1][1] == len(mode0)
+            for (_, b), (c, _) in zip(chunks, chunks[1:]):
+                assert b == c
+                assert mode0[b - 1] != mode0[b]  # never splits a row
+
+    def test_heavy_slice_swallows_boundary(self):
+        mode0 = np.zeros(100, dtype=np.int64)  # one giant slice
+        assert aligned_chunks(mode0, 4) == [(0, 100)]
+
+    def test_empty(self):
+        assert aligned_chunks(np.zeros(0, dtype=np.int64), 3) == []
+
+    @given(case=index_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_partition_properties(self, case):
+        shape, nnz, seed = case
+        rng = np.random.default_rng(seed)
+        tensor = random_coo(rng, shape, nnz) if nnz else None
+        if tensor is None or tensor.nnz == 0:
+            return
+        mode0 = tensor.idx[:, 0]
+        chunks = aligned_chunks(mode0, rng.integers(1, 6))
+        covered = sum(hi - lo for lo, hi in chunks)
+        assert covered == tensor.nnz
+        for lo, hi in chunks:
+            assert hi > lo
+        for _, b in chunks[:-1]:
+            assert mode0[b - 1] != mode0[b]
+
+
+class TestAltoKernelBitwise:
+    """alto backend == numpy backend, bit for bit (same float op order)."""
+
+    @given(case=index_cases(), rank=hst.sampled_from([1, 8, 17]))
+    @settings(max_examples=25, deadline=None)
+    def test_engine_parity(self, case, rank):
+        shape, nnz, seed = case
+        if len(shape) < 3:
+            return
+        rng = np.random.default_rng(seed)
+        tensor = random_coo(rng, shape, nnz)
+        factors = random_factors(rng, shape, rank)
+        strategy = S.balanced_binary(len(shape))
+        ref = MemoizedMttkrp(tensor, strategy, factors, kernel="numpy")
+        alto = MemoizedMttkrp(tensor, strategy, factors, kernel="alto")
+        for mode in range(tensor.ndim):
+            np.testing.assert_array_equal(
+                ref.mttkrp(mode), alto.mttkrp(mode)
+            )
+
+    def test_parity_across_invalidations(self):
+        rng = np.random.default_rng(11)
+        tensor = random_coo(rng, (18, 25, 14, 21), 700)
+        factors = random_factors(rng, tensor.shape, 16)
+        for strategy in (S.balanced_binary(4), S.star(4)):
+            ref = MemoizedMttkrp(tensor, strategy, factors, kernel="numpy")
+            alto = MemoizedMttkrp(tensor, strategy, factors, kernel="alto")
+            for _ in range(2):
+                for mode in ref.mode_order:
+                    np.testing.assert_array_equal(
+                        ref.mttkrp(mode), alto.mttkrp(mode)
+                    )
+                    U = rng.standard_normal((tensor.shape[mode], 16))
+                    ref.update_factor(mode, U)
+                    alto.update_factor(mode, U)
+
+    def test_fortran_order_factors(self):
+        """Non-contiguous factor input must not change results."""
+        rng = np.random.default_rng(13)
+        tensor = random_coo(rng, (12, 10, 9), 150)
+        factors = [np.asfortranarray(U)
+                   for U in random_factors(rng, tensor.shape, 8)]
+        ref = MemoizedMttkrp(tensor, "bdt", factors, kernel="numpy")
+        alto = MemoizedMttkrp(tensor, "bdt", factors, kernel="alto")
+        for mode in range(3):
+            np.testing.assert_array_equal(ref.mttkrp(mode), alto.mttkrp(mode))
+
+    def test_single_delta_mode_runs_numpy_path(self):
+        """Star-strategy nodes have one delta mode: nothing to pack, the
+        plain numpy path runs, results still bitwise equal."""
+        rng = np.random.default_rng(17)
+        tensor = random_coo(rng, (14, 11, 9), 200)
+        factors = random_factors(rng, tensor.shape, 8)
+        ref = MemoizedMttkrp(tensor, S.star(3), factors, kernel="numpy")
+        alto = MemoizedMttkrp(tensor, S.star(3), factors, kernel="alto")
+        for mode in range(3):
+            np.testing.assert_array_equal(ref.mttkrp(mode), alto.mttkrp(mode))
+
+    def test_packing_fallback_conditions(self):
+        """_packed_for: False (cached) for single-mode and >63-bit nodes."""
+        from repro.kernels.alto import PackedGather, _packed_for
+        from repro.kernels.indices import NodeKernelIndex
+
+        g = np.arange(6, dtype=np.intp)
+        starts = np.array([0], dtype=np.intp)
+        single = NodeKernelIndex(0, (1,), (g,), None, starts, 6, False)
+        assert _packed_for(single, (64,)) is False
+        assert single._alto is False  # checked once, cached
+
+        wide = NodeKernelIndex(1, (0, 1), (g, g), None, starts, 6, False)
+        assert _packed_for(wide, (1 << 32, 1 << 32)) is False
+
+        ok = NodeKernelIndex(2, (0, 1), (g, g), None, starts, 6, False)
+        packed = _packed_for(ok, (8, 8))
+        assert isinstance(packed, PackedGather)
+        assert _packed_for(ok, (8, 8)) is packed  # cached instance
+        np.testing.assert_array_equal(packed.decode(0, 0, 6), g)
+        np.testing.assert_array_equal(packed.decode(1, 0, 6), g)
+
+
+class TestAltoCooMttkrp:
+    @pytest.mark.parametrize("n_workers", [1, 3])
+    def test_bitwise_vs_numpy_layout(self, n_workers):
+        rng = np.random.default_rng(21)
+        tensor = random_coo(rng, (15, 12, 10, 8), 500)
+        factors = random_factors(rng, tensor.shape, 8)
+        with ParallelCooMttkrp(tensor, n_workers=n_workers) as ref, \
+                AltoCooMttkrp(tensor, n_workers=n_workers) as alto:
+            ref.set_factors(factors)
+            alto.set_factors(factors)
+            # Identical chunking is part of the bitwise contract.
+            assert ref.chunks == alto.chunks
+            for mode in range(tensor.ndim):
+                np.testing.assert_array_equal(
+                    ref.mttkrp(mode), alto.mttkrp(mode)
+                )
+
+    def test_order_6(self):
+        rng = np.random.default_rng(23)
+        tensor = random_coo(rng, (6, 5, 4, 3, 5, 4), 300)
+        factors = random_factors(rng, tensor.shape, 5)
+        with ParallelCooMttkrp(tensor, n_workers=2) as ref, \
+                AltoCooMttkrp(tensor, n_workers=2) as alto:
+            ref.set_factors(factors)
+            alto.set_factors(factors)
+            for mode in range(tensor.ndim):
+                np.testing.assert_array_equal(
+                    ref.mttkrp(mode), alto.mttkrp(mode)
+                )

@@ -82,6 +82,37 @@ class TestCommands:
             assert data["factor_0"].shape == (8, 2)
             assert data["factor_2"].shape == (6, 2)
 
+    def test_decompose_process_tier(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_ALLOW_OVERSUBSCRIBE", "1")
+        planted = lowrank_tensor((8, 7, 6), rank=2, nnz=8 * 7 * 6,
+                                 random_state=2)
+        src = tmp_path / "x.tns"
+        write_tns(planted.tensor, src)
+        import warnings
+
+        for layout in ("numpy", "alto"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                assert main([
+                    "decompose", str(src), "--rank", "2", "--strategy",
+                    "bdt", "--iters", "5", "--tier", "process",
+                    "--workers", "2", "--layout", layout,
+                ]) == 0
+            assert "fit" in capsys.readouterr().out
+
+    def test_decompose_tier_auto_reports_pick(self, tmp_path, capsys):
+        planted = lowrank_tensor((8, 7, 6), rank=2, nnz=8 * 7 * 6,
+                                 random_state=2)
+        src = tmp_path / "x.tns"
+        write_tns(planted.tensor, src)
+        assert main([
+            "decompose", str(src), "--rank", "2", "--iters", "3",
+            "--tier", "auto", "--layout", "auto", "--workers", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        # Tiny tensor at one worker: the model must keep it on threads.
+        assert "model picked tier=thread" in out
+
     def test_decompose_nonneg(self, capsys):
         assert main([
             "decompose", "nips", "--scale", "0.01", "--rank", "2",

@@ -278,3 +278,89 @@ class TestCliSurfaces:
                      "--out", str(out_path)]) == 0
         with open(out_path) as fh:
             validate_plan_artifact(json.load(fh))
+
+
+class TestExecutionSection:
+    """The additive ``execution`` block of ``repro-plan/v1``: tier/layout
+    pricing keyed to a worker count, carried next to the strategy race."""
+
+    def test_absent_without_workers(self, tensor4d):
+        expl = explain_plan(tensor4d, rank=8)
+        assert expl.execution is None
+        artifact = expl.to_artifact()
+        assert artifact["result"]["execution"] is None
+        validate_plan_artifact(artifact)  # older artifacts stay valid
+
+    def test_present_and_valid_with_workers(self, tensor4d):
+        expl = explain_plan(tensor4d, rank=8, n_workers=4)
+        validate_plan_artifact(expl.to_artifact())
+        section = expl.execution
+        assert section["n_workers"] == 4
+        pairs = [(c["tier"], c["layout"]) for c in section["candidates"]]
+        assert pairs == [("thread", "numpy"), ("thread", "alto"),
+                         ("process", "numpy"), ("process", "alto")]
+        rec = section["recommended"]
+        assert (rec["tier"], rec["layout"]) in pairs
+        feasible = [c for c in section["candidates"] if c["feasible"]]
+        assert rec["predicted_seconds"] == min(
+            c["predicted_seconds"] for c in feasible
+        )
+        for c in feasible:
+            assert set(c["terms"]) >= {"flops", "words", "base_seconds"}
+
+    def test_summary_renders_decision_table(self, tensor4d):
+        expl = explain_plan(tensor4d, rank=8, n_workers=4)
+        text = expl.summary()
+        assert "execution decision at 4 workers" in text
+        assert "<-" in text  # the pick marker
+        for tier in ("thread", "process"):
+            assert tier in text
+
+    def test_validator_rejects_tampered_execution(self, tensor4d):
+        good = explain_plan(tensor4d, rank=8, n_workers=4).to_artifact()
+
+        doc = copy.deepcopy(good)
+        doc["result"]["execution"]["candidates"] = []
+        with pytest.raises(ValueError, match="candidates"):
+            validate_plan_artifact(doc)
+
+        doc = copy.deepcopy(good)
+        for c in doc["result"]["execution"]["candidates"]:
+            c["feasible"] = False
+        with pytest.raises(ValueError, match="feasible"):
+            validate_plan_artifact(doc)
+
+        doc = copy.deepcopy(good)
+        rec = doc["result"]["execution"]["recommended"]
+        rec["predicted_seconds"] = rec["predicted_seconds"] * 10 + 1.0
+        with pytest.raises(ValueError, match="cheapest"):
+            validate_plan_artifact(doc)
+
+    @pytest.fixture()
+    def oversubscribed(self, monkeypatch):
+        """--workers goes through the shared clamp; opt out so the CLI
+        tests are deterministic on single-core CI machines."""
+        import warnings as _warnings
+
+        monkeypatch.setenv("REPRO_ALLOW_OVERSUBSCRIBE", "1")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("ignore", RuntimeWarning)
+            yield
+
+    def test_plan_json_with_workers(self, tmp_path, capsys, oversubscribed):
+        path, t = TestCliSurfaces._write_tensor(self, tmp_path)
+        assert main(["plan", path, "--rank", "4", "--json",
+                     "--workers", "2"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_plan_artifact(doc)
+        section = doc["result"]["execution"]
+        assert section["n_workers"] == 2
+        assert len(section["candidates"]) == 4
+
+    def test_plan_explain_text_with_workers(self, tmp_path, capsys,
+                                            oversubscribed):
+        path, _ = TestCliSurfaces._write_tensor(self, tmp_path)
+        assert main(["plan", path, "--rank", "4", "--explain",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "execution decision at 2 workers" in out

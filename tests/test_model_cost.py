@@ -11,10 +11,12 @@ import pytest
 from repro.core import strategy as S
 from repro.core.engine import MemoizedMttkrp
 from repro.core.symbolic import SymbolicTree
-from repro.model.cost import (DEFAULT_MACHINE, MachineModel,
+from repro.model.cost import (DEFAULT_EXECUTION, DEFAULT_MACHINE,
+                              ExecutionParams, MachineModel,
                               cost_from_symbolic, cost_report,
-                              iteration_flops_words,
-                              simulate_peak_value_bytes, symbolic_index_bytes)
+                              execution_candidates, iteration_flops_words,
+                              recommend_execution, simulate_peak_value_bytes,
+                              symbolic_index_bytes)
 from repro.perf import counting
 
 from .helpers import random_coo, random_factors
@@ -168,3 +170,103 @@ class TestMachineModel:
         fast = cost_from_symbolic(sym, 2, MachineModel(1e-12, 1e-12))
         slow = cost_from_symbolic(sym, 2, MachineModel(1e-6, 1e-6))
         assert slow.predicted_seconds > fast.predicted_seconds
+
+
+class TestExecutionModel:
+    """Tier/layout pricing behind ``repro plan --workers`` and the
+    ``--tier auto`` / ``--layout auto`` decompose paths."""
+
+    SHAPE = (400, 300, 250, 200)
+    NNZ = 200_000
+    RANK = 16
+
+    def test_four_candidates_priced(self):
+        cands = execution_candidates(self.SHAPE, self.NNZ, self.RANK, 4)
+        assert [(c.tier, c.layout) for c in cands] == [
+            ("thread", "numpy"), ("thread", "alto"),
+            ("process", "numpy"), ("process", "alto"),
+        ]
+        for c in cands:
+            assert c.feasible
+            assert c.n_workers == 4
+            assert c.predicted_seconds > 0
+            assert c.terms["base_seconds"] > 0
+
+    def test_terms_sum_to_prediction(self):
+        for c in execution_candidates(self.SHAPE, self.NNZ, self.RANK, 4):
+            overheads = [k for k in c.terms
+                         if k.endswith("_seconds") and k != "base_seconds"]
+            assert sum(c.terms[k] for k in overheads) == \
+                pytest.approx(c.predicted_seconds)
+
+    def test_alto_halves_index_traffic_at_order_4(self):
+        """One packed word replaces four coordinates: the alto layout's
+        index bytes are exactly ``1/ndim`` of the COO layout's."""
+        cands = {(c.tier, c.layout): c for c in execution_candidates(
+            self.SHAPE, self.NNZ, self.RANK, 1)}
+        coo = cands[("thread", "numpy")].index_bytes
+        alto = cands[("thread", "alto")].index_bytes
+        assert alto * len(self.SHAPE) == coo
+
+    def test_alto_infeasible_past_63_bits(self):
+        cands = execution_candidates((1 << 32, 1 << 32), 100, 8, 2)
+        infeasible = [c for c in cands if not c.feasible]
+        assert [(c.tier, c.layout) for c in infeasible] == [
+            ("thread", "alto"), ("process", "alto"),
+        ]
+        for c in infeasible:
+            assert c.predicted_seconds == float("inf")
+            assert "64 index bits" in c.reason and "63" in c.reason
+
+    def test_recommend_is_cheapest_feasible(self):
+        cands = execution_candidates(self.SHAPE, self.NNZ, self.RANK, 4)
+        rec = recommend_execution(self.SHAPE, self.NNZ, self.RANK, 4)
+        best = min((c for c in cands if c.feasible),
+                   key=lambda c: c.predicted_seconds)
+        assert (rec.tier, rec.layout) == (best.tier, best.layout)
+        assert rec.predicted_seconds == best.predicted_seconds
+
+    def test_single_worker_recommends_thread(self):
+        """At p=1 both tiers price identically (no overheads on either
+        side) and the tie must break toward threads — no pool needed."""
+        rec = recommend_execution(self.SHAPE, self.NNZ, self.RANK, 1)
+        assert rec.tier == "thread"
+
+    def test_process_beats_thread_at_scale(self):
+        """Large tensors at p>=2: the GIL-serial fraction caps the thread
+        tier while process overheads (IPC + reduction) amortize away."""
+        cands = {(c.tier, c.layout): c for c in execution_candidates(
+            self.SHAPE, self.NNZ, self.RANK, 4)}
+        assert cands[("process", "numpy")].predicted_seconds < \
+            cands[("thread", "numpy")].predicted_seconds
+        rec = recommend_execution(self.SHAPE, self.NNZ, self.RANK, 4)
+        assert rec.tier == "process"
+
+    def test_tiny_tensor_stays_on_threads(self):
+        """Per-task IPC dwarfs the kernel on small inputs."""
+        rec = recommend_execution((20, 20, 20), 500, 4, 4)
+        assert rec.tier == "thread"
+
+    def test_alto_wins_with_order(self):
+        """The decode surcharge is flat per index word while the traffic
+        saving grows with order: alto wins the layout race at order 4."""
+        rec = recommend_execution(self.SHAPE, self.NNZ, self.RANK, 4)
+        assert rec.layout == "alto"
+
+    def test_decode_price_can_flip_layout(self):
+        params = ExecutionParams(
+            alto_decode_flops_per_index=DEFAULT_EXECUTION
+            .alto_decode_flops_per_index * 50
+        )
+        rec = recommend_execution(
+            self.SHAPE, self.NNZ, self.RANK, 4, params=params
+        )
+        assert rec.layout == "numpy"
+
+    def test_to_dict_roundtrips_terms(self):
+        rec = recommend_execution(self.SHAPE, self.NNZ, self.RANK, 2)
+        d = rec.to_dict()
+        assert d["tier"] == rec.tier and d["layout"] == rec.layout
+        assert d["feasible"] is True
+        assert d["terms"] == rec.terms
+        assert d["predicted_seconds"] == rec.predicted_seconds

@@ -95,9 +95,12 @@ class TestDefaultWorkers:
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
 
     def test_env_override(self, monkeypatch):
+        import os
+
         from repro.parallel.pool import default_workers
 
         monkeypatch.setenv("REPRO_WORKERS", "3")
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
         assert default_workers() == 3
         # The override feeds the pool default too.
         pool = WorkerPool()
@@ -122,6 +125,71 @@ class TestDefaultWorkers:
         from repro.parallel.pool import default_workers
 
         assert 1 <= default_workers() <= 8
+
+
+class TestResolveWorkerCount:
+    """The shared precedence + clamp rule behind every tier's worker knob."""
+
+    @pytest.fixture(autouse=True)
+    def eight_cpus(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_ALLOW_OVERSUBSCRIBE", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+
+    def test_explicit_beats_env(self, monkeypatch):
+        from repro.parallel.pool import resolve_worker_count
+
+        monkeypatch.setenv("REPRO_WORKERS", "6")
+        assert resolve_worker_count(2) == 2
+
+    def test_clamps_with_warning(self):
+        from repro.parallel.pool import resolve_worker_count
+
+        with pytest.warns(RuntimeWarning,
+                          match=r"exceeds os\.cpu_count\(\)=8; clamping"):
+            assert resolve_worker_count(12, tier="process") == 8
+
+    def test_env_count_also_clamped(self, monkeypatch):
+        from repro.parallel.pool import resolve_worker_count
+
+        monkeypatch.setenv("REPRO_WORKERS", "12")
+        with pytest.warns(RuntimeWarning, match="REPRO_WORKERS=12"):
+            assert resolve_worker_count(None) == 8
+
+    def test_oversubscribe_argument_keeps_count(self):
+        from repro.parallel.pool import resolve_worker_count
+
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            assert resolve_worker_count(12, allow_oversubscribe=True) == 12
+
+    def test_oversubscribe_env_optout(self, monkeypatch):
+        from repro.parallel.pool import resolve_worker_count
+
+        monkeypatch.setenv("REPRO_ALLOW_OVERSUBSCRIBE", "1")
+        with pytest.warns(RuntimeWarning, match="oversubscribes"):
+            assert resolve_worker_count(12) == 12
+
+    def test_within_budget_is_silent(self):
+        import warnings as _warnings
+
+        from repro.parallel.pool import resolve_worker_count
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            assert resolve_worker_count(8) == 8
+
+    def test_explicit_worker_pool_count_not_clamped(self):
+        """Thread oversubscription is harmless, so explicit WorkerPool
+        counts bypass the clamp entirely — no warning, count honored."""
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            pool = WorkerPool(n_workers=12)
+        assert pool.n_workers == 12
+        pool.close()
 
 
 class TestPoolTaskSpans:
