@@ -22,6 +22,13 @@ three configurations:
   the duration, i.e. the full ``repro serve <cmd>`` live-telemetry
   stack.
 
+The process tier gets its own trio on the same workload (baseline
+``process_disabled`` with tracing off, ``process_worker_capture`` with
+in-worker span capture shipping worker-interior spans back per task, and
+``process_synthesized`` with capture off — parent-side reconstructed
+spans only); the cost under test there is the per-task shipping of
+worker telemetry.
+
 Writes ``benchmarks/results/BENCH_obs_overhead.json`` (shared
 ``repro-bench/v1`` envelope) with per-config ms/iteration and overhead
 percentages relative to ``disabled``, and appends the per-config timings
@@ -167,8 +174,46 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
     obs_trace.disable()
     obs_trace.get_tracer().clear()
 
+    # -- process tier: in-worker capture vs synthesized vs off ---------
+    import warnings
+
+    from repro.parallel.procpool import ProcessMttkrp, ProcessPool
+
+    def _process_best(traced: bool, capture: bool) -> float:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            backend = ProcessMttkrp(
+                tensor, layout="alto",
+                pool=ProcessPool(2, allow_oversubscribe=True,
+                                 capture=capture),
+            )
+        try:
+            backend.set_factors([f.copy() for f in factors])
+            if traced:
+                obs_trace.enable(clear=True)
+            else:
+                obs_trace.disable()
+            _als_iteration(backend)  # warm: workers, shm, span path
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                _als_iteration(backend)
+                best = min(best, time.perf_counter() - t0)
+            return best
+        finally:
+            backend.close()
+            obs_trace.disable()
+            obs_trace.get_tracer().clear()
+
+    process_disabled = _process_best(traced=False, capture=True)
+    process_capture = _process_best(traced=True, capture=True)
+    process_synth = _process_best(traced=True, capture=False)
+
     def pct(seconds: float) -> float:
         return (seconds / disabled - 1.0) * 100.0
+
+    def process_pct(seconds: float) -> float:
+        return (seconds / process_disabled - 1.0) * 100.0
 
     return {
         "workload": {
@@ -200,6 +245,18 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
                 "seconds_per_iteration": with_events_serve,
                 "overhead_pct": pct(with_events_serve),
             },
+            "process_disabled": {
+                "seconds_per_iteration": process_disabled,
+                "overhead_pct": 0.0,
+            },
+            "process_worker_capture": {
+                "seconds_per_iteration": process_capture,
+                "overhead_pct": process_pct(process_capture),
+            },
+            "process_synthesized": {
+                "seconds_per_iteration": process_synth,
+                "overhead_pct": process_pct(process_synth),
+            },
         },
         "spans_per_measured_block": span_count,
         "drift_fired": watchdog.n_fired(),
@@ -213,9 +270,12 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
 def main() -> None:
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
+    # Best-of-N needs enough samples to resolve the ~2% budgets on noisy
+    # (virtualized, single-core) hosts; bump via REPRO_BENCH_REPEATS.
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", REPEATS))
     print(f"tracer overhead: shape={ACCEPT_SHAPE} nnz~{ACCEPT_NNZ} "
-          f"rank={ACCEPT_RANK}")
-    report = run_overhead_bench()
+          f"rank={ACCEPT_RANK} repeats={repeats}")
+    report = run_overhead_bench(repeats)
     base = os.path.join(results_dir, "BENCH_obs_overhead")
     with open(base + ".json", "w") as fh:
         json.dump(artifact_envelope("BENCH_obs_overhead", report), fh,
@@ -238,6 +298,14 @@ def main() -> None:
     )
     assert report["attribution"]["max_node_flop_err"] == 0.0, (
         "attributed per-node flops diverged from the model on numpy"
+    )
+    capture = report["runs"]["process_worker_capture"]
+    synth = report["runs"]["process_synthesized"]
+    capture_cost = (capture["seconds_per_iteration"]
+                    / synth["seconds_per_iteration"] - 1.0) * 100.0
+    assert capture_cost < 2.0, (
+        f"in-worker span capture costs {capture_cost:.2f}% over the "
+        f"synthesized-span baseline, exceeding the 2% budget"
     )
     if not os.environ.get("REPRO_BENCH_NO_HISTORY"):
         from repro.obs.history import BenchHistory

@@ -322,6 +322,7 @@ def cmd_trace(args) -> int:
     from .obs import attribution as obs_attr
     from .obs import events as obs_events
     from .obs import memory as obs_memory
+    from .obs import runctx as obs_runctx
     from .obs import trace as obs_trace
     from .obs.buildinfo import build_info
     from .obs.export import (kind_table, tree_summary, write_chrome_trace,
@@ -352,9 +353,14 @@ def cmd_trace(args) -> int:
     obs_events.enable(clear=not events_were_enabled)
     obs_attr.enable(clear=True)
     registry.reset()
+    # An ambient run context: telemetry still lands in the globals the
+    # artifact writers below read, but events carry the run_id and the
+    # run is listed on /runz if a server is scraping this process.
+    run_ctx = obs_runctx.RunContext.ambient(command=rest[0])
     t0 = time.perf_counter()
     try:
-        with perf_counters.counting(registry.counters):
+        with perf_counters.counting(registry.counters), \
+                obs_runctx.using(run_ctx):
             rc = inner.fn(inner)
     finally:
         if not was_enabled:
@@ -385,6 +391,7 @@ def cmd_trace(args) -> int:
     with open(metrics_path, "w") as fh:
         _json.dump(
             {"build": build_info(), "wall_seconds": elapsed,
+             "run_id": run_ctx.run_id,
              "metrics": registry.snapshot()},
             fh, indent=2,
         )
@@ -400,7 +407,8 @@ def cmd_trace(args) -> int:
             _json.dump(attr.snapshot(), fh, indent=2)
             fh.write("\n")
 
-    print(f"\n-- traced {len(spans)} spans in {elapsed:.2f}s")
+    print(f"\n-- traced {len(spans)} spans in {elapsed:.2f}s "
+          f"({run_ctx.run_id})")
     print(kind_table(spans))
     if mem.readings:
         last = mem.readings[-1]
@@ -515,6 +523,7 @@ def cmd_serve(args) -> int:
     from .obs import attribution as obs_attr
     from .obs import events as obs_events
     from .obs import memory as obs_memory
+    from .obs import runctx as obs_runctx
     from .obs import trace as obs_trace
     from .obs.metrics import registry
     from .obs.serve import ObsServer, load_trace_dir
@@ -558,10 +567,12 @@ def cmd_serve(args) -> int:
     obs_attr.enable(clear=True)
     registry.reset()
     server.start()
+    run_ctx = obs_runctx.RunContext.ambient(command=rest[0])
     print(f"serving {server.url}/metrics (also /healthz, /runz) "
-          "for the duration of the command")
+          f"for the duration of the command ({run_ctx.run_id})")
     try:
-        with perf_counters.counting(registry.counters):
+        with perf_counters.counting(registry.counters), \
+                obs_runctx.using(run_ctx):
             rc = inner.fn(inner)
     finally:
         server.stop()

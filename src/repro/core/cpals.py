@@ -22,6 +22,7 @@ from ..linalg.solve import solve_normal_equations
 from ..obs import attribution as _obs_attr
 from ..obs import events as _obs_events
 from ..obs import memory as _obs_mem
+from ..obs import runctx as _runctx
 from ..obs import trace as _obs
 from ..perf import counters as perf
 from .coo import CooTensor
@@ -136,6 +137,7 @@ def cp_als(
     engine_factory: Callable[[CooTensor], object] | None = None,
     callback: Callable[[int, float, KruskalTensor], None] | None = None,
     watchdog=None,
+    run_ctx=None,
 ) -> CPResult:
     """Fit a rank-``R`` CP decomposition with alternating least squares.
 
@@ -167,6 +169,16 @@ def cp_als(
         (:func:`repro.obs.enabled`), one is built automatically from the
         engine's symbolic tree; when tracing is off and none is passed,
         the watchdog machinery is skipped entirely.
+    run_ctx:
+        a :class:`~repro.obs.runctx.RunContext` scoping this run's
+        telemetry.  When None, the run joins the ambient context if one is
+        active (a caller's ``runctx.using`` block), else it creates and
+        registers an ambient context of its own — so every run has a
+        ``run_id``, appears on ``/runz``, and stamps its events, while
+        single-run behavior on the global instruments is unchanged.  Pass
+        :meth:`RunContext.scoped() <repro.obs.runctx.RunContext.scoped>`
+        to give the run fully isolated tracer/events/metrics/memory
+        (required for concurrent runs with zero telemetry cross-talk).
     """
     check_positive_int(rank, "rank")
     check_positive_int(n_iter_max, "n_iter_max")
@@ -175,6 +187,47 @@ def cp_als(
     if tensor.ndim < 2:
         raise ValueError("CP-ALS requires an order >= 2 tensor")
 
+    ctx = run_ctx if run_ctx is not None else _runctx.current()
+    if ctx is not None:
+        ctx.meta.setdefault("shape", list(tensor.shape))
+        ctx.meta.setdefault("nnz", tensor.nnz)
+        ctx.meta.setdefault("rank", rank)
+    if ctx is not None and _runctx.current() is ctx:
+        # Already active (the caller's own ``using`` block): run in place.
+        return _cp_als_run(
+            tensor, rank, strategy=strategy, n_iter_max=n_iter_max, tol=tol,
+            init=init, random_state=random_state,
+            memory_budget=memory_budget, engine_factory=engine_factory,
+            callback=callback, watchdog=watchdog,
+        )
+    if ctx is None:
+        ctx = _runctx.RunContext.ambient(
+            shape=list(tensor.shape), nnz=tensor.nnz, rank=rank,
+        )
+    with _runctx.using(ctx):
+        return _cp_als_run(
+            tensor, rank, strategy=strategy, n_iter_max=n_iter_max, tol=tol,
+            init=init, random_state=random_state,
+            memory_budget=memory_budget, engine_factory=engine_factory,
+            callback=callback, watchdog=watchdog,
+        )
+
+
+def _cp_als_run(
+    tensor: CooTensor,
+    rank: int,
+    *,
+    strategy,
+    n_iter_max: int,
+    tol: float,
+    init,
+    random_state,
+    memory_budget,
+    engine_factory,
+    callback,
+    watchdog,
+) -> CPResult:
+    """The ALS loop proper, always running inside an active run context."""
     factors = initialize_factors(tensor, rank, init, random_state)
     norm_x = tensor.norm()
 
@@ -195,6 +248,9 @@ def cp_als(
         strategy_name = engine.strategy.name
     engine.set_factors(factors)
     setup_time = time.perf_counter() - t0
+    run_ctx = _runctx.current()
+    if run_ctx is not None:
+        run_ctx.meta.setdefault("strategy", strategy_name)
 
     if watchdog is None and _obs.enabled() and isinstance(engine, MemoizedMttkrp):
         from ..model.cost import cost_from_symbolic

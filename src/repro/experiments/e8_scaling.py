@@ -49,8 +49,11 @@ TITLE = "Strong scaling: measured thread+process tiers + modeled speedup"
 DEFAULT_WORKERS = (1, 2, 4, 8)
 
 
-def _measured_imbalance(tensor, strategy, rank: int, p: int) -> float | None:
-    """Max/mean ``pool_task`` seconds over one traced iteration.
+def _measured_imbalance(
+    tensor, strategy, rank: int, p: int,
+) -> tuple[float, str] | None:
+    """Max/mean ``pool_task`` seconds over one traced iteration, plus the
+    provenance of the task timings (``measured``/``synthesized``/...).
 
     Slices only the spans this probe appends, so it composes with an
     already-active outer trace (``--trace`` runs) without clearing it.
@@ -73,7 +76,7 @@ def _measured_imbalance(tensor, strategy, rank: int, p: int) -> float | None:
     if util is None:
         return None
     _metrics.set_gauge(f"e8.imbalance.p{p}", util.mean_imbalance)
-    return util.mean_imbalance
+    return util.mean_imbalance, util.source
 
 
 def _process_iteration_seconds(tensor, rank: int, p: int, layout: str,
@@ -172,7 +175,7 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
     measured_speedup = {}
     for p in workers:
         measured_speedup[p] = base / measured_times[p]
-        imb = measured_imbalance[p]
+        probe = measured_imbalance[p]
         rows.append([
             p,
             round(measured_times[p] * 1e3, 3),
@@ -181,7 +184,7 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
             round(process_times[p] * 1e3, 3),
             round(alto_times[p] * 1e3, 3),
             round(modeled_process[p], 2),
-            round(imb, 3) if imb is not None else "-",
+            (f"{probe[0]:.3f} ({probe[1]})" if probe is not None else "-"),
         ])
     host_cpus = os.cpu_count() or 1
     bitwise = _layouts_bitwise_identical(tensor, rank, max(workers))
@@ -190,7 +193,7 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
         title=f"{TITLE} ({name}, strategy=bdt)",
         headers=["workers", "thread ms/iter", "thread speedup",
                  "modeled thread", "process ms/iter", "alto ms/iter",
-                 "modeled process", "measured imbalance"],
+                 "modeled process", "measured imbalance (timings)"],
         rows=rows,
         expected_shape=(
             "Modeled thread speedup near-linear until the bandwidth knee but "
@@ -212,7 +215,12 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
             "process_seconds": {int(k): v for k, v in process_times.items()},
             "alto_seconds": {int(k): v for k, v in alto_times.items()},
             "measured_imbalance": {
-                int(k): v for k, v in measured_imbalance.items()
+                int(k): (v[0] if v is not None else None)
+                for k, v in measured_imbalance.items()
+            },
+            "imbalance_timing_source": {
+                int(k): (v[1] if v is not None else None)
+                for k, v in measured_imbalance.items()
             },
             "modeled_monotone": all(
                 modeled[workers[i + 1]] >= modeled[workers[i]]

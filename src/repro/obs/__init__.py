@@ -32,6 +32,11 @@ Zero-dependency instrumentation for the engine/kernel/parallel stack:
 * :mod:`repro.obs.utilization` — per-worker busy/queue-wait/imbalance
   stats derived from ``pool_task`` spans, surfaced by ``repro report``,
   the dashboard, and the E8 scaling experiment.
+* :mod:`repro.obs.runctx` — run-scoped telemetry contexts: a
+  :class:`RunContext` bundles a ``run_id`` with (optionally) private
+  tracer/event-log/metrics/memory instruments so concurrent runs in one
+  process keep fully separated telemetry; the :data:`run_registry`
+  feeds ``/runz`` and the ``run_id``-labelled ``/metrics`` families.
 * :mod:`repro.obs.explain` — planner explainability: the complete
   candidate search with per-node/per-mode predicted cost terms as a
   versioned ``repro-plan/v1`` artifact (``repro explain``).  Imported
@@ -58,13 +63,14 @@ or, from the shell, ``repro trace decompose data.tns --rank 16``.
 from __future__ import annotations
 
 from . import attribution, dashboard, events, export, history, memory
-from . import serve, trace, utilization
+from . import runctx, serve, trace, utilization
 from .attribution import AttributionReading, AttributionRecorder
 from .buildinfo import build_info, git_revision, version_string
 from .events import EventLog, RunState
 from .history import BenchEntry, BenchHistory, DiffResult, compare
 from .memory import MemReading, MemTracker
 from .metrics import MetricsRegistry, metrics, registry
+from .runctx import RunContext, RunRegistry, run_registry
 from .serve import ObsServer
 from .trace import (SpanRecord, Tracer, disable, enable, enabled,
                     get_tracer, span, tracing)
@@ -72,7 +78,8 @@ from .utilization import UtilizationReport, utilization_from_spans
 
 __all__ = [
     "export", "trace", "watchdog", "memory", "history", "dashboard",
-    "events", "serve", "utilization", "attribution", "explain",
+    "events", "serve", "utilization", "attribution", "explain", "runctx",
+    "RunContext", "RunRegistry", "run_registry",
     "AttributionReading", "AttributionRecorder",
     "PlanExplanation", "explain_plan", "validate_plan_artifact",
     "SpanRecord", "Tracer", "span", "enabled", "enable", "disable",

@@ -1,0 +1,39 @@
+"""Ambient run-context holder (dependency-free on purpose).
+
+This tiny module breaks an import cycle: the instrument modules
+(:mod:`repro.obs.trace`, :mod:`repro.obs.events`,
+:mod:`repro.obs.metrics`, :mod:`repro.obs.memory`) consult the active
+:class:`repro.obs.runctx.RunContext` on every guarded call, while
+``runctx`` constructs its instruments *from* those same modules.  Both
+sides import only this holder, which knows nothing about either.
+
+The context variable propagates the way span parents already do: into
+pool threads via the context copy :class:`repro.parallel.pool.WorkerPool`
+takes per task, and (explicitly, by value) across the process boundary in
+:mod:`repro.parallel.procpool`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+
+__all__ = ["current", "activate", "deactivate"]
+
+_current: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_run_context", default=None
+)
+
+
+def current():
+    """The active RunContext, or None when running on the global singletons."""
+    return _current.get()
+
+
+def activate(ctx):
+    """Install ``ctx`` as the ambient run context; returns a reset token."""
+    return _current.set(ctx)
+
+
+def deactivate(token) -> None:
+    """Restore the state captured by :func:`activate`'s token."""
+    _current.reset(token)

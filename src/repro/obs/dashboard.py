@@ -333,15 +333,19 @@ def _utilization_tables(report: UtilizationReport) -> str:
             f'<td class="num">{w.busy_fraction * 100:.1f}%</td>'
             f'<td class="num">{w.queue_wait_seconds * 1e3:.2f}</td>'
             f'<td class="num">{w.queue_wait_max * 1e3:.3f}</td>'
+            f"<td>{w.source}</td>"
             "</tr>"
         )
     out = (
         f"<p class='meta'>{report.n_tasks} pool tasks over "
         f"{report.window_seconds * 1e3:.2f} ms window &middot; "
         f"mean imbalance {report.mean_imbalance:.3f} (max/mean task "
-        "seconds per fan-out; 1.0 = perfectly balanced)</p>"
+        "seconds per fan-out; 1.0 = perfectly balanced) &middot; "
+        f"timings <b>{report.source}</b> (measured = spans timed where "
+        "the work ran; synthesized = reconstructed parent-side)</p>"
         "<table><thead><tr><th>worker</th><th>tasks</th><th>busy ms</th>"
-        "<th>busy %</th><th>wait ms</th><th>max wait ms</th></tr></thead>"
+        "<th>busy %</th><th>wait ms</th><th>max wait ms</th>"
+        "<th>timings</th></tr></thead>"
         "<tbody>" + "".join(rows) + "</tbody></table>"
     )
     if report.iterations:

@@ -35,6 +35,8 @@ import os
 import threading
 import time
 
+from . import _ctx
+
 __all__ = [
     "EVENTS_SCHEMA", "EVENT_KINDS", "EventLog", "RunState",
     "enabled", "enable", "disable", "emit", "get_log", "logging_events",
@@ -212,7 +214,12 @@ class EventLog:
             if self._sink is not None:
                 self._sink.write(json.dumps(event) + "\n")
                 self._sink.flush()
-        self.run.observe(event)
+            # Fold into the run state while still holding the log lock, so
+            # the RunState sees events in exactly the seq order the ring
+            # recorded them.  (Folding outside the lock let two concurrent
+            # emitters race run_start past a later iteration event.)
+            # RunState.lock nests inside EventLog._lock, never the reverse.
+            self.run.observe(event)
         return event
 
     def tail(self, n: int | None = None) -> list[dict]:
@@ -255,7 +262,7 @@ class EventLog:
             with self._lock:
                 self._ring.append(event)
                 self._seq = max(self._seq, int(event.get("seq", 0)))
-            self.run.observe(event)
+                self.run.observe(event)
             n += 1
         return n
 
@@ -285,7 +292,14 @@ del _on, _sink_path
 
 
 def enabled() -> bool:
-    """Whether event logging is on (the call-site guard)."""
+    """Whether event logging is on (the call-site guard).
+
+    A run context with an explicit ``events_enabled`` overrides the
+    module global, so concurrent runs control their own logging.
+    """
+    ctx = _ctx.current()
+    if ctx is not None and ctx.events_enabled is not None:
+        return ctx.events_enabled
     return _enabled
 
 
@@ -306,15 +320,33 @@ def disable() -> None:
 
 
 def get_log() -> EventLog:
-    """The process-global event log."""
+    """The active event log: the run context's when one carries its own,
+    else the process-global log."""
+    ctx = _ctx.current()
+    if ctx is not None and ctx.events is not None:
+        return ctx.events
     return _log
 
 
 def emit(kind: str, **fields) -> dict | None:
-    """Emit an event if logging is enabled (None otherwise)."""
-    if not _enabled:
+    """Emit an event if logging is enabled (None otherwise).
+
+    When a run context is active the event lands in *its* log and is
+    stamped with the context's ``run_id``, so interleaved runs stay
+    separable in a shared sink and on ``/runz``.
+    """
+    ctx = _ctx.current()
+    if ctx is None:
+        if not _enabled:
+            return None
+        return _log.emit(kind, **fields)
+    on = ctx.events_enabled if ctx.events_enabled is not None else _enabled
+    if not on:
         return None
-    return _log.emit(kind, **fields)
+    log = ctx.events if ctx.events is not None else _log
+    if ctx.run_id is not None:
+        fields.setdefault("run_id", ctx.run_id)
+    return log.emit(kind, **fields)
 
 
 class logging_events:

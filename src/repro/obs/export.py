@@ -24,6 +24,7 @@ from .trace import SpanRecord, Tracer, get_tracer
 __all__ = [
     "to_chrome_trace", "write_chrome_trace", "write_jsonl", "read_jsonl",
     "tree_summary", "kind_table", "validate_chrome_trace",
+    "validate_span_tree",
 ]
 
 #: schema tag stamped into exported Chrome traces (bump on layout change).
@@ -151,6 +152,51 @@ def validate_chrome_trace(doc: object) -> list[str]:
             args = ev.get("args")
             if not isinstance(args, dict) or "kind" not in args:
                 errors.append(f"{where}: span event needs args.kind")
+    return errors
+
+
+def validate_span_tree(spans: Sequence[SpanRecord] | None = None, *,
+                       epsilon: float = 1e-3) -> list[str]:
+    """Structural errors (empty = valid) for a batch of span records.
+
+    The self-check the merged (cross-process) trace must pass: unique span
+    ids, parent links that resolve within the batch, ``t0 <= t1`` on every
+    closed span, and children contained in their parent's window.  The
+    containment check allows ``epsilon`` seconds of slack — worker spans
+    are aligned onto the parent clock through two wall-clock epochs, so
+    sub-millisecond skew between ``time.time`` and ``perf_counter`` deltas
+    is expected; structural breakage (a child outside its parent by more
+    than the skew budget) is not.
+    """
+    if spans is None:
+        spans = get_tracer().finished()
+    errors: list[str] = []
+    by_id: dict[int, SpanRecord] = {}
+    for rec in spans:
+        if rec.id in by_id:
+            errors.append(f"span id {rec.id} duplicated")
+        by_id[rec.id] = rec
+    for rec in spans:
+        where = f"span {rec.id} ({rec.kind})"
+        if rec.t1 is not None and rec.t1 < rec.t0:
+            errors.append(f"{where}: t1 {rec.t1} < t0 {rec.t0}")
+        if rec.parent is None:
+            continue
+        parent = by_id.get(rec.parent)
+        if parent is None:
+            errors.append(f"{where}: parent {rec.parent} not in batch")
+            continue
+        if parent.t0 - rec.t0 > epsilon:
+            errors.append(
+                f"{where}: starts {parent.t0 - rec.t0:.6f}s before "
+                f"parent {parent.id} ({parent.kind})"
+            )
+        if (rec.t1 is not None and parent.t1 is not None
+                and rec.t1 - parent.t1 > epsilon):
+            errors.append(
+                f"{where}: ends {rec.t1 - parent.t1:.6f}s after "
+                f"parent {parent.id} ({parent.kind})"
+            )
     return errors
 
 

@@ -33,6 +33,7 @@ import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from . import _ctx
 from .metrics import registry as _metrics
 
 __all__ = [
@@ -286,7 +287,14 @@ _enabled: bool = _truthy(os.environ.get("REPRO_TRACE")) or _truthy(
 
 
 def enabled() -> bool:
-    """Whether memory tracking is on (the engines' call-site guard)."""
+    """Whether memory tracking is on (the engines' call-site guard).
+
+    A run context with an explicit ``mem_enabled`` overrides the module
+    global, mirroring the tracer/event guards.
+    """
+    ctx = _ctx.current()
+    if ctx is not None and ctx.mem_enabled is not None:
+        return ctx.mem_enabled
     return _enabled
 
 
@@ -311,7 +319,11 @@ def disable() -> None:
 
 
 def get_tracker() -> MemTracker:
-    """The process-global tracker the engines feed."""
+    """The active tracker: the run context's when one carries its own,
+    else the process-global tracker the engines feed."""
+    ctx = _ctx.current()
+    if ctx is not None and ctx.memory is not None:
+        return ctx.memory
     return _tracker
 
 

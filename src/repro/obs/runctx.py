@@ -1,0 +1,232 @@
+"""Run-scoped telemetry contexts and the registry of concurrent runs.
+
+Until PR 7 the observability stack hung off process-global singletons —
+one :class:`~repro.obs.trace.Tracer`, one
+:class:`~repro.obs.events.EventLog`, one
+:class:`~repro.obs.metrics.MetricsRegistry`, one
+:class:`~repro.obs.memory.MemTracker` — which is exactly one concurrent
+run short of the decomposition-as-a-service roadmap.  A
+:class:`RunContext` bundles a ``run_id`` with a full set of instruments
+and rides a :mod:`contextvars` variable (:mod:`repro.obs._ctx`) that the
+instrument modules consult on every guarded call, so the *call sites*
+(engines, pools, kernels) did not change at all — the globals became
+thin compatibility shims that defer to the active context.
+
+Two flavors:
+
+* :meth:`RunContext.ambient` — no instruments of its own; everything
+  still lands in the global singletons, but events are stamped with the
+  ``run_id`` and the run shows up on ``/runz``.  This is what a bare
+  ``cp_als`` call gets, and it behaves byte-for-byte like the pre-context
+  stack.
+* :meth:`RunContext.scoped` — fresh private instruments with explicit
+  enable flags.  Two scoped runs in one process (threads or interleaved)
+  keep fully separated spans/events/metrics/memory with zero cross-talk,
+  and ``/metrics`` labels each run's families with its ``run_id``.
+
+The process-wide :data:`run_registry` tracks every context that has been
+activated (finished runs are kept, bounded, for post-hoc inspection);
+``repro serve`` renders it on ``/runz``.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+
+from . import _ctx
+from . import events as _events_mod
+from . import memory as _memory_mod
+from . import trace as _trace_mod
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "RunContext", "RunRegistry", "run_registry", "new_run_id",
+    "current", "using",
+]
+
+
+def new_run_id() -> str:
+    """A short unique run identifier (``run-<8 hex chars>``)."""
+    return f"run-{uuid.uuid4().hex[:8]}"
+
+
+class RunContext:
+    """One run's identity plus (optionally) its own telemetry instruments.
+
+    Instrument fields left as ``None`` defer to the process-global
+    singleton; enable flags left as ``None`` defer to the module-global
+    on/off switches.  :meth:`ambient` leaves everything deferred;
+    :meth:`scoped` pins all of it.
+    """
+
+    __slots__ = ("run_id", "tracer", "events", "metrics", "memory",
+                 "trace_enabled", "events_enabled", "mem_enabled",
+                 "created_at", "finished_at", "status", "meta")
+
+    def __init__(self, run_id: str | None = None, *,
+                 tracer=None, events=None, metrics=None, memory=None,
+                 trace_enabled: bool | None = None,
+                 events_enabled: bool | None = None,
+                 mem_enabled: bool | None = None,
+                 meta: dict | None = None):
+        self.run_id = run_id or new_run_id()
+        self.tracer = tracer
+        self.events = events
+        self.metrics = metrics
+        self.memory = memory
+        self.trace_enabled = trace_enabled
+        self.events_enabled = events_enabled
+        self.mem_enabled = mem_enabled
+        self.created_at = time.time()
+        self.finished_at: float | None = None
+        self.status = "created"
+        self.meta = dict(meta or {})
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def ambient(cls, run_id: str | None = None, **meta) -> "RunContext":
+        """A context that aliases the global singletons (legacy behavior
+        plus a run_id stamp on events and a ``/runz`` entry)."""
+        return cls(run_id, meta=meta)
+
+    @classmethod
+    def scoped(cls, run_id: str | None = None, *,
+               trace: bool = False, events: bool = True, mem: bool = False,
+               sink_path: str | None = None, events_maxlen: int = 4096,
+               **meta) -> "RunContext":
+        """A context with fresh, fully isolated instruments.
+
+        The enable flags are pinned (not deferred), so a scoped run is
+        unaffected by — and does not affect — the module-global switches.
+        """
+        return cls(
+            run_id,
+            tracer=_trace_mod.Tracer(),
+            events=_events_mod.EventLog(maxlen=events_maxlen,
+                                        sink_path=sink_path),
+            metrics=MetricsRegistry(),
+            memory=_memory_mod.MemTracker(),
+            trace_enabled=trace,
+            events_enabled=events,
+            mem_enabled=mem,
+            meta=meta,
+        )
+
+    # -- introspection -------------------------------------------------
+    @property
+    def owns_telemetry(self) -> bool:
+        """True for scoped contexts (private instruments), False for
+        ambient ones riding the global singletons."""
+        return self.metrics is not None
+
+    def describe(self) -> dict:
+        """JSON-friendly summary for ``/runz``."""
+        out = {
+            "run_id": self.run_id,
+            "status": self.status,
+            "scoped": self.owns_telemetry,
+            "created_at": self.created_at,
+            "finished_at": self.finished_at,
+            "trace_enabled": self.trace_enabled,
+            "events_enabled": self.events_enabled,
+            "mem_enabled": self.mem_enabled,
+            "meta": self.meta,
+        }
+        if self.events is not None:
+            out["n_events"] = len(self.events)
+            out["run"] = self.events.run.to_dict()
+        if self.tracer is not None:
+            out["n_spans"] = len(self.tracer)
+        return out
+
+    def __repr__(self) -> str:
+        kind = "scoped" if self.owns_telemetry else "ambient"
+        return f"RunContext({self.run_id!r}, {kind}, status={self.status!r})"
+
+
+class RunRegistry:
+    """Thread-safe registry of run contexts, past and present.
+
+    Bounded: once more than ``keep_finished`` non-active runs accumulate,
+    the oldest finished ones are evicted (active runs are never evicted).
+    """
+
+    def __init__(self, keep_finished: int = 64):
+        self._lock = threading.Lock()
+        self._runs: collections.OrderedDict[str, RunContext] = \
+            collections.OrderedDict()
+        self.keep_finished = int(keep_finished)
+
+    def register(self, ctx: RunContext) -> RunContext:
+        with self._lock:
+            self._runs[ctx.run_id] = ctx
+            self._runs.move_to_end(ctx.run_id)
+            finished = [rid for rid, c in self._runs.items()
+                        if c.status != "running"]
+            for rid in finished[:max(len(finished) - self.keep_finished, 0)]:
+                del self._runs[rid]
+        return ctx
+
+    def unregister(self, run_id: str) -> None:
+        with self._lock:
+            self._runs.pop(run_id, None)
+
+    def get(self, run_id: str) -> RunContext | None:
+        with self._lock:
+            return self._runs.get(run_id)
+
+    def runs(self) -> list[RunContext]:
+        """All registered contexts, oldest first."""
+        with self._lock:
+            return list(self._runs.values())
+
+    def active(self) -> list[RunContext]:
+        return [c for c in self.runs() if c.status == "running"]
+
+    def describe(self) -> list[dict]:
+        return [c.describe() for c in self.runs()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._runs.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._runs)
+
+
+#: the process-wide registry that ``/runz`` serves.
+run_registry = RunRegistry()
+
+
+def current() -> RunContext | None:
+    """The active run context in this execution context, if any."""
+    return _ctx.current()
+
+
+@contextmanager
+def using(ctx: RunContext, *, register: bool = True):
+    """Activate ``ctx`` for a block (and register it for ``/runz``).
+
+    The context stays in the registry after the block — finished, not
+    gone — so a completed run's telemetry remains inspectable until the
+    registry evicts it.
+    """
+    if register:
+        run_registry.register(ctx)
+    ctx.status = "running"
+    token = _ctx.activate(ctx)
+    try:
+        yield ctx
+    except BaseException:
+        ctx.status = "failed"
+        raise
+    else:
+        ctx.status = "finished"
+    finally:
+        ctx.finished_at = time.time()
+        _ctx.deactivate(token)

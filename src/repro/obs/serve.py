@@ -12,7 +12,14 @@ turns the process-wide observability state — span histograms from
   live bytes, and the current-run gauges (iteration, fit, ETA);
 * ``/healthz`` — liveness probe, always ``ok``;
 * ``/runz`` — JSON snapshot of the current CP-ALS run (iteration, fit,
-  trailing rate, ETA) plus the most recent events.
+  trailing rate, ETA) plus the most recent events and, under ``runs``,
+  every run context the :data:`~repro.obs.runctx.run_registry` knows
+  about (concurrent scoped runs each appear with their own ``run_id``).
+
+Scoped run contexts (see :mod:`repro.obs.runctx`) also show up on
+``/metrics``: their private registries render as ``run_id``-labelled
+samples grouped into the same metric families as the process-global
+(unlabelled) series.
 
 Two ways to use it: **live**, started by ``repro serve --port P <cmd>``
 or ``python -m repro.experiments --serve`` next to a running
@@ -34,6 +41,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from . import events as _events
 from . import memory as _memory
 from .metrics import registry as _registry
+from .runctx import run_registry
 
 __all__ = [
     "OPENMETRICS_CONTENT_TYPE", "render_openmetrics",
@@ -74,20 +82,66 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def _render_span_histograms(spans: dict, out: list[str]) -> None:
-    """SpanStats snapshots -> one labelled OpenMetrics histogram family.
+class _Families:
+    """Order-preserving family accumulator: one TYPE line per family.
+
+    OpenMetrics requires every sample of a family grouped under a single
+    ``# TYPE`` declaration — which is exactly what breaks if the global
+    registry and N per-run registries each render their own copy of, say,
+    ``repro_pool_imbalance``.  Samples are collected per family here and
+    emitted grouped, so ``run_id``-labelled samples ride under the same
+    declaration as the unlabelled global ones.
+    """
+
+    def __init__(self):
+        self._fams: dict[str, list] = {}
+        self._order: list[str] = []
+
+    def sample(self, name: str, mtype: str, line: str,
+               help_: str | None = None) -> None:
+        fam = self._fams.get(name)
+        if fam is None:
+            fam = self._fams[name] = [mtype, help_, []]
+            self._order.append(name)
+        fam[2].append(line)
+
+    def render(self) -> str:
+        out: list[str] = []
+        for name in self._order:
+            mtype, help_, samples = self._fams[name]
+            out.append(f"# TYPE {name} {mtype}")
+            if help_:
+                out.append(f"# HELP {name} {help_}")
+            out.extend(samples)
+        out.append("# EOF")
+        return "\n".join(out) + "\n"
+
+
+def _label_str(extra: dict | None, **pairs) -> str:
+    """``{k="v",...}`` rendering of merged label pairs ('' when none)."""
+    merged = dict(pairs)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in merged.items()
+    )
+    return "{" + inner + "}"
+
+
+def _render_span_histograms(spans: dict, fam: _Families,
+                            labels: dict | None = None) -> None:
+    """SpanStats snapshots -> the labelled OpenMetrics histogram family.
 
     ``log2_buckets`` keys are ``<=2^{exp}s`` counts per bucket (the last
     exponent is the overflow bucket); OpenMetrics wants *cumulative*
     counts with explicit ``le`` upper bounds ending at ``+Inf``.
     """
-    if not spans:
-        return
-    out.append("# TYPE repro_span_duration_seconds histogram")
-    out.append("# HELP repro_span_duration_seconds wall time per span kind")
-    for kind in sorted(spans):
+    name = "repro_span_duration_seconds"
+    help_ = "wall time per span kind"
+    for kind in sorted(spans or {}):
         stats = spans[kind]
-        label = f'kind="{_escape_label(kind)}"'
         buckets = []
         for key, n in stats.get("log2_buckets", {}).items():
             m = _BUCKET_KEY.match(key)
@@ -97,29 +151,78 @@ def _render_span_histograms(spans: dict, out: list[str]) -> None:
         cum = 0
         for exp, n in buckets:
             cum += n
-            out.append(
-                f"repro_span_duration_seconds_bucket{{{label},"
-                f'le="{_fmt(2.0 ** exp)}"}} {cum}'
-            )
+            label = _label_str(labels, kind=kind, le=_fmt(2.0 ** exp))
+            fam.sample(name, "histogram", f"{name}_bucket{label} {cum}",
+                       help_)
         count = int(stats.get("count", cum))
-        out.append(
-            f'repro_span_duration_seconds_bucket{{{label},le="+Inf"}} '
-            f"{count}"
+        label = _label_str(labels, kind=kind, le="+Inf")
+        fam.sample(name, "histogram", f"{name}_bucket{label} {count}", help_)
+        label = _label_str(labels, kind=kind)
+        fam.sample(name, "histogram", f"{name}_count{label} {count}", help_)
+        fam.sample(
+            name, "histogram",
+            f"{name}_sum{label} "
+            f"{_fmt(float(stats.get('total_seconds', 0.0)))}",
+            help_,
         )
-        out.append(f"repro_span_duration_seconds_count{{{label}}} {count}")
-        out.append(
-            f"repro_span_duration_seconds_sum{{{label}}} "
-            f"{_fmt(float(stats.get('total_seconds', 0.0)))}"
+
+
+def _render_registry(fam: _Families, snapshot: dict, run: dict | None,
+                     live_bytes: int | None,
+                     labels: dict | None = None) -> None:
+    """One registry snapshot (+ run fold + live bytes) into the families."""
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = _metric_name(f"counter.{name}")
+        fam.sample(metric, "counter",
+                   f"{metric}_total{_label_str(labels)} {_fmt(value)}")
+    for name, value in sorted(snapshot.get("events", {}).items()):
+        metric = _metric_name(name)
+        fam.sample(metric, "counter",
+                   f"{metric}_total{_label_str(labels)} {_fmt(value)}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = _metric_name(name)
+        fam.sample(metric, "gauge",
+                   f"{metric}{_label_str(labels)} {_fmt(value)}")
+
+    if live_bytes is not None:
+        fam.sample(
+            "repro_memtracker_live_bytes", "gauge",
+            f"repro_memtracker_live_bytes{_label_str(labels)} "
+            f"{_fmt(int(live_bytes))}",
+            "live memoized-value bytes",
         )
+
+    if run is not None:
+        run_gauges = {
+            "repro_run_active": 1 if run.get("active") else 0,
+            "repro_run_iteration": run.get("iteration"),
+            "repro_run_fit": run.get("fit"),
+            "repro_run_seconds_per_iteration":
+                run.get("seconds_per_iteration"),
+            "repro_run_eta_seconds": run.get("eta_seconds"),
+        }
+        for metric, value in run_gauges.items():
+            if value is None:
+                continue
+            fam.sample(metric, "gauge",
+                       f"{metric}{_label_str(labels)} {_fmt(value)}")
+
+    _render_span_histograms(snapshot.get("spans", {}), fam, labels)
 
 
 def render_openmetrics(snapshot: dict | None = None,
                        run: dict | None = None,
-                       live_bytes: int | None = None) -> str:
+                       live_bytes: int | None = None,
+                       include_runs: bool = True) -> str:
     """Render the registry (+ run state + mem tracker) as OpenMetrics text.
 
     All arguments default to the live process-global state; pass explicit
-    snapshots to render saved artifacts.
+    snapshots to render saved artifacts.  With ``include_runs=True``
+    (default) every *scoped* run context in the
+    :data:`~repro.obs.runctx.run_registry` additionally contributes its
+    own registry/run-state samples labelled ``run_id="..."`` — grouped
+    into the same metric families, so two concurrent decompositions scrape
+    as distinct series instead of interleaving.
     """
     if snapshot is None:
         snapshot = _registry.snapshot()
@@ -127,41 +230,21 @@ def render_openmetrics(snapshot: dict | None = None,
         run = _events.get_log().run.to_dict()
     if live_bytes is None:
         live_bytes = _memory.get_tracker().live_bytes
-    out: list[str] = []
 
-    for name, value in sorted(snapshot.get("counters", {}).items()):
-        metric = _metric_name(f"counter.{name}")
-        out.append(f"# TYPE {metric} counter")
-        out.append(f"{metric}_total {_fmt(value)}")
-    for name, value in sorted(snapshot.get("events", {}).items()):
-        metric = _metric_name(name)
-        out.append(f"# TYPE {metric} counter")
-        out.append(f"{metric}_total {_fmt(value)}")
-    for name, value in sorted(snapshot.get("gauges", {}).items()):
-        metric = _metric_name(name)
-        out.append(f"# TYPE {metric} gauge")
-        out.append(f"{metric} {_fmt(value)}")
-
-    out.append("# TYPE repro_memtracker_live_bytes gauge")
-    out.append("# HELP repro_memtracker_live_bytes live memoized-value bytes")
-    out.append(f"repro_memtracker_live_bytes {_fmt(int(live_bytes))}")
-
-    run_gauges = {
-        "repro_run_active": 1 if run.get("active") else 0,
-        "repro_run_iteration": run.get("iteration"),
-        "repro_run_fit": run.get("fit"),
-        "repro_run_seconds_per_iteration": run.get("seconds_per_iteration"),
-        "repro_run_eta_seconds": run.get("eta_seconds"),
-    }
-    for metric, value in run_gauges.items():
-        if value is None:
-            continue
-        out.append(f"# TYPE {metric} gauge")
-        out.append(f"{metric} {_fmt(value)}")
-
-    _render_span_histograms(snapshot.get("spans", {}), out)
-    out.append("# EOF")
-    return "\n".join(out) + "\n"
+    fam = _Families()
+    _render_registry(fam, snapshot, run, live_bytes)
+    if include_runs:
+        for ctx in run_registry.runs():
+            if not ctx.owns_telemetry:
+                continue
+            _render_registry(
+                fam,
+                ctx.metrics.snapshot(),
+                ctx.events.run.to_dict() if ctx.events is not None else None,
+                ctx.memory.live_bytes if ctx.memory is not None else None,
+                labels={"run_id": ctx.run_id},
+            )
+    return fam.render()
 
 
 def validate_openmetrics(text: str) -> list[str]:
@@ -246,6 +329,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "sink": log.sink_path,
                 },
                 "last_events": log.tail(20),
+                "runs": run_registry.describe(),
             }
             body = (json.dumps(doc, indent=2) + "\n").encode()
             self._reply(200, "application/json; charset=utf-8", body)

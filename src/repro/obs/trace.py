@@ -30,11 +30,13 @@ import threading
 import time
 from contextlib import contextmanager
 
+from . import _ctx
 from .metrics import registry as _metrics
 
 __all__ = [
     "SpanRecord", "Tracer", "span", "record_span", "enabled", "enable",
     "disable", "tracing", "get_tracer", "current_span_id",
+    "merge_subprocess_spans",
 ]
 
 
@@ -147,7 +149,15 @@ _enabled: bool = _truthy(os.environ.get("REPRO_TRACE"))
 
 
 def enabled() -> bool:
-    """Whether tracing is currently on (the call-site guard)."""
+    """Whether tracing is currently on (the call-site guard).
+
+    A run context with an explicit ``trace_enabled`` overrides the module
+    global, so a scoped run can trace while the process default is off —
+    and vice versa — without touching shared state.
+    """
+    ctx = _ctx.current()
+    if ctx is not None and ctx.trace_enabled is not None:
+        return ctx.trace_enabled
     return _enabled
 
 
@@ -166,7 +176,11 @@ def disable() -> None:
 
 
 def get_tracer() -> Tracer:
-    """The process-global tracer holding recorded spans."""
+    """The active tracer: the run context's when one is installed, else
+    the process-global one holding recorded spans."""
+    ctx = _ctx.current()
+    if ctx is not None and ctx.tracer is not None:
+        return ctx.tracer
     return _tracer
 
 
@@ -191,30 +205,32 @@ _NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    __slots__ = ("kind", "attrs", "rec", "_token")
+    __slots__ = ("kind", "attrs", "rec", "_token", "_tracer")
 
     def __init__(self, kind: str, attrs: dict):
         self.kind = kind
         self.attrs = attrs
 
     def __enter__(self) -> SpanRecord:
+        tracer = get_tracer()
         rec = SpanRecord(
             id=next(_ids),
             parent=_current.get(),
             kind=self.kind,
-            t0=_tracer.now(),
+            t0=tracer.now(),
             tid=threading.get_ident(),
             attrs=self.attrs,
         )
         self.rec = rec
+        self._tracer = tracer
         self._token = _current.set(rec.id)
         return rec
 
     def __exit__(self, *exc) -> bool:
         _current.reset(self._token)
         rec = self.rec
-        rec.t1 = _tracer.now()
-        _tracer.record(rec)
+        rec.t1 = self._tracer.now()
+        self._tracer.record(rec)
         _metrics.observe_span(rec.kind, rec.t1 - rec.t0)
         return False
 
@@ -226,7 +242,7 @@ def span(kind: str, **attrs):
     the only cost is the call itself and the keyword dict.  Truly hot call
     sites should guard with ``if trace.enabled():`` and skip even that.
     """
-    if not _enabled:
+    if not enabled():
         return _NULL_SPAN
     return _Span(kind, attrs)
 
@@ -242,8 +258,9 @@ def record_span(kind: str, t0: float, t1: float, *,
     span as parent (unless ``parent`` is given), and feeds the same metrics
     histogram as :func:`span`.  No-op (returns None) while tracing is off.
     """
-    if not _enabled:
+    if not enabled():
         return None
+    tracer = get_tracer()
     rec = SpanRecord(
         id=next(_ids),
         parent=parent if parent is not None else _current.get(),
@@ -253,9 +270,52 @@ def record_span(kind: str, t0: float, t1: float, *,
         attrs=attrs,
         t1=t1,
     )
-    _tracer.record(rec)
+    tracer.record(rec)
     _metrics.observe_span(kind, rec.duration)
     return rec
+
+
+def merge_subprocess_spans(span_dicts, *, offset: float,
+                           parent: int | None = None,
+                           tid: int | None = None) -> list[SpanRecord]:
+    """Merge spans recorded inside a worker process into the active tracer.
+
+    ``span_dicts`` is a batch of :meth:`SpanRecord.to_dict` payloads from a
+    worker-local tracer whose times are relative to *its* epoch; ``offset``
+    (seconds, typically ``worker.wall_epoch - parent.wall_epoch``) shifts
+    them onto this tracer's clock.  Every span gets a fresh id from the
+    shared counter; intra-batch parent links are remapped, and batch roots
+    (spans whose parent is not in the batch) are re-parented to ``parent``
+    — normally the ``pool_task`` span the parent process recorded for the
+    same task.  ``tid`` overrides the thread lane (pass the worker pid so
+    each worker process renders as its own lane).  Each merged span also
+    feeds the metrics histograms, exactly as if it had closed locally.
+
+    Returns the merged records (empty while tracing is off).
+    """
+    if not enabled() or not span_dicts:
+        return []
+    tracer = get_tracer()
+    id_map = {int(d["id"]): next(_ids) for d in span_dicts}
+    merged: list[SpanRecord] = []
+    for d in span_dicts:
+        old_parent = d.get("parent")
+        new_parent = (id_map.get(int(old_parent), parent)
+                      if old_parent is not None else parent)
+        rec = SpanRecord(
+            id=id_map[int(d["id"])],
+            parent=new_parent,
+            kind=str(d["kind"]),
+            t0=float(d["t0"]) + offset,
+            tid=tid if tid is not None else int(d.get("tid", 0)),
+            attrs=dict(d.get("attrs", {})),
+            t1=None if d.get("t1") is None else float(d["t1"]) + offset,
+        )
+        tracer.record(rec)
+        if rec.t1 is not None:
+            _metrics.observe_span(rec.kind, rec.duration)
+        merged.append(rec)
+    return merged
 
 
 @contextmanager

@@ -45,6 +45,11 @@ class WorkerStats:
     busy_fraction: float
     queue_wait_seconds: float
     queue_wait_max: float
+    #: provenance of this lane's timings: ``measured`` (span timed where
+    #: the work ran — threads, or process workers with in-worker capture),
+    #: ``synthesized`` (reconstructed parent-side from a reported
+    #: duration), ``mixed``, or ``unknown`` (spans predate the marker).
+    source: str = "unknown"
 
     def to_dict(self) -> dict:
         return {
@@ -54,6 +59,7 @@ class WorkerStats:
             "busy_fraction": self.busy_fraction,
             "queue_wait_seconds": self.queue_wait_seconds,
             "queue_wait_max": self.queue_wait_max,
+            "source": self.source,
         }
 
 
@@ -110,6 +116,9 @@ class UtilizationReport:
     #: first task start .. last task end, in tracer seconds.
     window: tuple[float, float]
     n_tasks: int = 0
+    #: aggregate provenance of the task timings/queue waits feeding this
+    #: report — ``measured`` / ``synthesized`` / ``mixed`` / ``unknown``.
+    source: str = "unknown"
     extra: dict = field(default_factory=dict)
 
     @property
@@ -139,7 +148,16 @@ class UtilizationReport:
             "window_seconds": self.window_seconds,
             "busy_seconds": self.busy_seconds,
             "mean_imbalance": self.mean_imbalance,
+            "source": self.source,
         }
+
+
+def _aggregate_source(tasks: Sequence[SpanRecord]) -> str:
+    """Fold per-span ``source`` attrs into one provenance label."""
+    sources = {str(rec.attrs.get("source", "unknown")) for rec in tasks}
+    if len(sources) == 1:
+        return sources.pop()
+    return "mixed"
 
 
 def _enclosing_iteration(rec: SpanRecord,
@@ -185,6 +203,7 @@ def utilization_from_spans(
                            else 1.0),
             queue_wait_seconds=sum(waits),
             queue_wait_max=max(waits),
+            source=_aggregate_source(lane),
         ))
 
     # -- per-fan-out imbalance -----------------------------------------
@@ -251,6 +270,7 @@ def utilization_from_spans(
         fanouts=fanouts,
         window=window,
         n_tasks=len(tasks),
+        source=_aggregate_source(tasks),
     )
 
 
@@ -259,7 +279,8 @@ def format_utilization(report: UtilizationReport) -> str:
     lines = [
         f"pool utilization: {report.n_tasks} tasks over "
         f"{report.window_seconds * 1e3:.2f} ms window, "
-        f"mean imbalance {report.mean_imbalance:.3f}",
+        f"mean imbalance {report.mean_imbalance:.3f} "
+        f"(timings {report.source})",
         "",
         f"{'worker':>6s} {'tasks':>6s} {'busy ms':>9s} {'busy %':>7s} "
         f"{'wait ms':>8s} {'max wait':>9s}",

@@ -21,6 +21,7 @@ from ..core.coo import CooTensor
 from ..core.dtypes import VALUE_DTYPE
 from ..core.validate import check_mode, check_positive_int
 from ..baselines.base import MttkrpBackend
+from ..obs import _ctx as _run_ctx
 from ..obs import trace as _trace
 from ..obs.metrics import registry as _metrics
 from .partition import partition_nonzeros
@@ -145,8 +146,10 @@ class WorkerPool:
         When tracing is enabled, each task runs inside a copy of the
         submitting thread's :mod:`contextvars` context wrapped in a
         ``pool_task`` span carrying ``index``, ``worker`` (stable lane id),
-        and ``queue_wait`` (seconds between submit and start; exactly 0.0
-        on the inline path), so worker-thread spans (and any context-local
+        ``queue_wait`` (seconds between submit and start; exactly 0.0
+        on the inline path), and ``source="measured"`` (threads are timed
+        directly, never synthesized), so worker-thread spans (and any
+        context-local
         counters) nest under the caller's current span and
         :mod:`repro.obs.utilization` can reconstruct per-worker timelines.
         Each traced fan-out of >=2 tasks also publishes the
@@ -163,9 +166,11 @@ class WorkerPool:
                 self._publish_imbalance(durations)
                 return results
             return [t() for t in tasks]
-        if _trace.enabled():
+        if _trace.enabled() or _run_ctx.current() is not None:
             # One context copy per task: a Context cannot be entered by two
-            # threads at once, and the copy carries the parent span id.
+            # threads at once, and the copy carries the parent span id and
+            # the active run context (so worker-thread events/metrics land
+            # in the right run even when tracing itself is off).
             durations = []
             tracer = _trace.get_tracer()
             futures = [
@@ -191,7 +196,7 @@ class WorkerPool:
         )
         with _trace.span(
             "pool_task", index=index, worker=self._worker_id(),
-            queue_wait=queue_wait,
+            queue_wait=queue_wait, source="measured",
         ) as rec:
             result = task()
         if rec is not None:

@@ -22,17 +22,33 @@ decoded coordinates are equal integers, so every float op sees identical
 inputs in identical order).
 
 Instrumentation keeps the thread tier's exact shape: one ``pool_task``
-span per shard (``index`` / ``worker`` / ``queue_wait``, lanes keyed by
-worker pid first-seen) synthesized from worker-reported durations, the
-``pool.imbalance`` gauge per fan-out, and a structured ``repro-events/v1``
-warning + automatic thread-tier fallback when a worker process dies
-mid-shard (:class:`ProcessMttkrp` never hangs on a broken pool).
+span per shard (``index`` / ``worker`` / ``queue_wait`` / ``source``,
+lanes keyed by worker pid first-seen), the ``pool.imbalance`` gauge per
+fan-out, and a structured ``repro-events/v1`` warning + automatic
+thread-tier fallback when a worker process dies mid-shard
+(:class:`ProcessMttkrp` never hangs on a broken pool).
+
+When the parent is tracing, workers are no longer a telemetry black box:
+each task runs under a worker-local scoped
+:class:`~repro.obs.runctx.RunContext` whose tracer records the interior
+``kernel`` / ``kernel_chunk`` / ``alto_decode`` spans, and the finished
+spans (plus counters and precise task start/stop stamps) ride back to the
+parent alongside the result.  The parent aligns them onto its own clock
+via the wall-clock epochs of the two tracers, re-parents them under the
+task's ``pool_task`` span with
+:func:`repro.obs.trace.merge_subprocess_spans`, and marks the span
+``source="measured"``.  If a worker reports no payload (capture off) the
+parent falls back to the old synthesized span, marked
+``source="synthesized"`` so downstream consumers
+(:mod:`repro.obs.utilization`, the dashboard, E8) stay honest about what
+was measured.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -76,11 +92,39 @@ def default_start_method() -> str:
     return "fork" if "fork" in methods else methods[0]
 
 
-def _timed_call(fn: Callable, args: tuple):
-    """Worker-side wrapper: run one task and report its wall time + pid."""
-    t0 = time.perf_counter()
-    result = fn(*args)
-    return result, time.perf_counter() - t0, os.getpid()
+def _timed_call(fn: Callable, args: tuple, capture: bool = False):
+    """Worker-side wrapper: run one task, report wall time + pid (+ spans).
+
+    With ``capture=False`` (parent not tracing) this is the old cheap
+    path: ``(result, seconds, pid, None)``.  With ``capture=True`` the
+    task runs under a fresh scoped run context whose tracer/metrics are
+    local to this process and this task; the fourth element becomes a
+    payload dict carrying the worker tracer's wall-clock epoch, the task's
+    start/stop on that tracer's clock, and every interior span — enough
+    for the parent to reconstruct the task on its own timeline.
+    """
+    if not capture:
+        t0 = time.perf_counter()
+        result = fn(*args)
+        return result, time.perf_counter() - t0, os.getpid(), None
+    from ..obs import runctx as _runctx
+
+    ctx = _runctx.RunContext.scoped(trace=True, events=False, mem=False)
+    with _runctx.using(ctx, register=False):
+        tracer = ctx.tracer
+        t0 = tracer.now()
+        result = fn(*args)
+        t1 = tracer.now()
+    payload = {
+        "wall_epoch": tracer.wall_epoch,
+        "t0": t0,
+        "t1": t1,
+        "pid": os.getpid(),
+        "tid": threading.get_ident(),
+        "spans": [s.to_dict() for s in tracer.finished()],
+        "counters": ctx.metrics.counters,
+    }
+    return result, t1 - t0, os.getpid(), payload
 
 
 class ProcessPool:
@@ -100,12 +144,16 @@ class ProcessPool:
 
     def __init__(self, n_workers: int | None = None, *,
                  allow_oversubscribe: bool | None = None,
-                 start_method: str | None = None):
+                 start_method: str | None = None, capture: bool = True):
         self.n_workers = resolve_worker_count(
             n_workers, clamp=True, allow_oversubscribe=allow_oversubscribe,
             tier="process",
         )
         self.start_method = start_method or default_start_method()
+        #: ship worker-interior spans back when the parent traces; set
+        #: False to keep the pre-PR-7 synthesized spans (the overhead
+        #: benchmark compares the two).
+        self.capture = bool(capture)
         self._executor: ProcessPoolExecutor | None = None
         self._lanes: dict[int, int] = {}
 
@@ -134,32 +182,62 @@ class ProcessPool:
             durations = []
             for i, (fn, args) in enumerate(calls):
                 with _trace.span("pool_task", index=i, worker=0,
-                                 queue_wait=0.0) as rec:
+                                 queue_wait=0.0, source="measured") as rec:
                     results.append(fn(*args))
                 if rec is not None:
                     durations.append(rec.duration)
             self._publish_imbalance(durations)
             return results
         executor = self._ensure_executor()
-        tracer = _trace.get_tracer() if _trace.enabled() else None
+        traced = _trace.enabled()
+        capture = traced and self.capture
+        tracer = _trace.get_tracer() if traced else None
         parent_span = _trace.current_span_id()
         submits = []
         futures = []
         for fn, args in calls:
             submits.append(tracer.now() if tracer is not None else 0.0)
-            futures.append(executor.submit(_timed_call, fn, args))
+            futures.append(executor.submit(_timed_call, fn, args, capture))
         results = []
         durations = []
         for i, future in enumerate(futures):
-            result, dur, pid = future.result()
+            result, dur, pid, payload = future.result()
             durations.append(dur)
             results.append(result)
-            if tracer is not None:
+            if tracer is None:
+                continue
+            if payload is not None:
+                # Genuine worker-interior telemetry: align the worker
+                # tracer's clock onto ours through the two wall-clock
+                # epochs, record the task at its *measured* start/stop,
+                # and merge the interior spans under it.
+                offset = payload["wall_epoch"] - tracer.wall_epoch
+                t0 = payload["t0"] + offset
+                t1 = payload["t1"] + offset
+                rec = _trace.record_span(
+                    "pool_task", t0, t1, parent=parent_span,
+                    index=i, worker=self._lane(pid),
+                    queue_wait=max(t0 - submits[i], 0.0),
+                    source="measured", pid=pid,
+                )
+                _trace.merge_subprocess_spans(
+                    payload["spans"], offset=offset,
+                    parent=rec.id if rec is not None else parent_span,
+                    tid=pid,
+                )
+                counters = payload.get("counters")
+                if counters is not None and any(counters.snapshot().values()):
+                    _metrics.counters.add(counters)
+            else:
+                # No payload (worker ran without capture): synthesize the
+                # span from the reported duration, as before PR 7, and
+                # say so.
                 t1 = tracer.now()
                 _trace.record_span(
                     "pool_task", t1 - dur, t1, parent=parent_span,
                     index=i, worker=self._lane(pid),
                     queue_wait=max(t1 - dur - submits[i], 0.0),
+                    source="synthesized", pid=pid,
                 )
         self._publish_imbalance(durations)
         return results
@@ -189,12 +267,13 @@ class ProcessPool:
 def _shard_column(specs, layout, enc_meta, lo, hi, mode):
     """Mode ``mode``'s coordinates for nonzeros ``lo:hi`` (int64)."""
     if layout == "alto":
-        codes = attach_array(specs["codes"])[lo:hi]
-        shifts, masks = enc_meta
-        field = codes >> np.uint64(shifts[mode])
-        if mode != 0:
-            field &= np.uint64(masks[mode])
-        return field.astype(np.int64, copy=False)
+        with _trace.span("alto_decode", mode=mode, nnz=hi - lo):
+            codes = attach_array(specs["codes"])[lo:hi]
+            shifts, masks = enc_meta
+            field = codes >> np.uint64(shifts[mode])
+            if mode != 0:
+                field &= np.uint64(masks[mode])
+            return field.astype(np.int64, copy=False)
     return attach_array(specs["idx"])[lo:hi, mode]
 
 
@@ -208,27 +287,34 @@ def _mttkrp_shard(specs, layout, enc_meta, ndim, shape, mode,
     leading-mode boundaries, so writes never overlap; other modes fill
     this shard's private slab for the parent's ordered reduction.
     """
-    vals = attach_array(specs["vals"])
-    factors = [attach_array(specs[f"factor{m}"]) for m in range(ndim)]
-    prod = None
-    for m in range(ndim):
-        if m == mode:
-            continue
-        rows = factors[m][_shard_column(specs, layout, enc_meta, lo, hi, m)]
-        if prod is None:
-            prod = rows.copy()
-        else:
-            prod *= rows
-    assert prod is not None
-    prod *= vals[lo:hi, None]
-    target = _shard_column(specs, layout, enc_meta, lo, hi, mode)
-    if mode == 0:
-        np.add.at(attach_array(specs["out0"]), target, prod)
-    else:
-        slab = attach_array(specs["partials"])[shard, : shape[mode]]
-        slab.fill(0.0)
-        np.add.at(slab, target, prod)
-    return True
+    with _trace.span("kernel", backend=f"process-{layout}", mode=mode,
+                     shard=shard, nnz=hi - lo):
+        vals = attach_array(specs["vals"])
+        factors = [attach_array(specs[f"factor{m}"]) for m in range(ndim)]
+        with _trace.span("kernel_chunk", phase="gather_hadamard",
+                         lo=lo, hi=hi):
+            prod = None
+            for m in range(ndim):
+                if m == mode:
+                    continue
+                rows = factors[m][
+                    _shard_column(specs, layout, enc_meta, lo, hi, m)
+                ]
+                if prod is None:
+                    prod = rows.copy()
+                else:
+                    prod *= rows
+            assert prod is not None
+            prod *= vals[lo:hi, None]
+        target = _shard_column(specs, layout, enc_meta, lo, hi, mode)
+        with _trace.span("kernel_chunk", phase="scatter", lo=lo, hi=hi):
+            if mode == 0:
+                np.add.at(attach_array(specs["out0"]), target, prod)
+            else:
+                slab = attach_array(specs["partials"])[shard, : shape[mode]]
+                slab.fill(0.0)
+                np.add.at(slab, target, prod)
+        return True
 
 
 class ProcessMttkrp(MttkrpBackend):

@@ -219,17 +219,21 @@ class TestPoolTaskSpans:
         spans = self._task_spans(n_workers=1)
         assert len(spans) == 4
         for s in spans:
-            assert set(s.attrs) == {"index", "worker", "queue_wait"}
+            assert set(s.attrs) == {"index", "worker", "queue_wait",
+                                    "source"}
             # Inline execution: submitting thread is lane 0, no queue.
             assert s.attrs["worker"] == 0
             assert s.attrs["queue_wait"] == 0.0
+            assert s.attrs["source"] == "measured"
 
     def test_threaded_path_attrs(self):
         spans = self._task_spans(n_workers=2, n_tasks=8)
         assert len(spans) == 8
         for s in spans:
-            assert set(s.attrs) == {"index", "worker", "queue_wait"}
+            assert set(s.attrs) == {"index", "worker", "queue_wait",
+                                    "source"}
             assert s.attrs["queue_wait"] >= 0.0
+            assert s.attrs["source"] == "measured"
         workers = {s.attrs["worker"] for s in spans}
         assert workers <= {0, 1} and len(workers) >= 1
         assert sorted(s.attrs["index"] for s in spans) == list(range(8))

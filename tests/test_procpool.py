@@ -141,7 +141,7 @@ class TestProcessPool:
             with pytest.raises(ValueError, match="boom"):
                 pool.run([(_boom, (1,)), (_boom, (2,))])
 
-    def test_pool_task_spans_synthesized(self):
+    def test_pool_task_spans_measured_from_workers(self):
         from repro.obs import trace
 
         with make_pool(2) as pool, trace.tracing() as tracer:
@@ -149,13 +149,32 @@ class TestProcessPool:
         spans = [s for s in tracer.finished() if s.kind == "pool_task"]
         assert len(spans) == 4
         assert sorted(s.attrs["index"] for s in spans) == [0, 1, 2, 3]
+        parent_pid = os.getpid()
         for s in spans:
-            # Exactly the thread tier's attribute shape.
-            assert set(s.attrs) == {"index", "worker", "queue_wait"}
+            # The thread tier's attribute shape plus provenance.
+            assert set(s.attrs) == {"index", "worker", "queue_wait",
+                                    "source", "pid"}
             assert s.attrs["queue_wait"] >= 0.0
             assert s.duration >= 0.0
+            # In-worker capture: genuinely measured, in a child process.
+            assert s.attrs["source"] == "measured"
+            assert s.attrs["pid"] != parent_pid
         workers = {s.attrs["worker"] for s in spans}
         assert workers <= {0, 1}  # stable lane ids, first-seen
+
+    def test_pool_task_spans_synthesized_without_capture(self):
+        from repro.obs import trace
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            pool = ProcessPool(2, allow_oversubscribe=True, capture=False)
+        with pool, trace.tracing() as tracer:
+            pool.run([(_square, (i,)) for i in range(4)])
+        spans = [s for s in tracer.finished() if s.kind == "pool_task"]
+        assert len(spans) == 4
+        for s in spans:
+            assert s.attrs["source"] == "synthesized"
+            assert s.attrs["pid"] != os.getpid()
 
     def test_imbalance_gauge_published(self):
         from repro.obs.metrics import registry

@@ -1,0 +1,391 @@
+"""Run-scoped telemetry: RunContext, the registry, and cross-run isolation.
+
+Covers the PR-7 tentpole surface end to end:
+
+* ambient vs scoped contexts (instrument dispatch, run_id stamping);
+* two *concurrent* ``cp_als`` runs with fully separated telemetry;
+* thread-safety of the event ring buffer and metrics registry under
+  simultaneous emitters from two runs;
+* ``repro serve`` with two runs: ``/runz`` lists both, ``/metrics``
+  carries distinct ``run_id`` labels and still validates;
+* cross-process span merging (``merge_subprocess_spans``) and the
+  structural self-check (``validate_span_tree``), including worker-
+  interior kernel spans from the process tier.
+"""
+
+import json
+import threading
+import urllib.request
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.cpals import cp_als
+from repro.core.strategy import balanced_binary
+from repro.obs import events as obs_events
+from repro.obs import memory as obs_memory
+from repro.obs import runctx
+from repro.obs import trace
+from repro.obs.export import validate_span_tree
+from repro.obs.metrics import registry
+from repro.obs.serve import ObsServer, render_openmetrics, validate_openmetrics
+
+from .helpers import random_coo
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.obs.watchdog.ModelDriftWarning"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Each test starts and ends with globals off/empty and no runs."""
+    def reset():
+        trace.disable()
+        trace.get_tracer().clear()
+        obs_memory.disable()
+        obs_memory.get_tracker().reset()
+        obs_events.disable()
+        obs_events.get_log().clear()
+        registry.reset()
+        runctx.run_registry.clear()
+    reset()
+    yield
+    reset()
+
+
+def small_tensor(seed=0, shape=(12, 11, 10, 9), nnz=400):
+    return random_coo(np.random.default_rng(seed), shape, nnz)
+
+
+def run_als(ctx, seed=0, **kwargs):
+    kwargs.setdefault("strategy", balanced_binary(4))
+    kwargs.setdefault("n_iter_max", 2)
+    return cp_als(small_tensor(seed), 3, run_ctx=ctx, **kwargs)
+
+
+class TestRunContext:
+    def test_ambient_defers_to_globals(self):
+        ctx = runctx.RunContext.ambient()
+        assert not ctx.owns_telemetry
+        trace.enable(clear=True)
+        with runctx.using(ctx):
+            assert trace.get_tracer() is not ctx.tracer  # ctx.tracer is None
+            with trace.span("kernel", mode=0):
+                pass
+        spans = trace.get_tracer().finished()
+        assert [s.kind for s in spans] == ["kernel"]
+
+    def test_ambient_stamps_run_id_on_events(self):
+        obs_events.enable(clear=True)
+        ctx = runctx.RunContext.ambient()
+        with runctx.using(ctx):
+            obs_events.emit("iteration", iteration=1)
+        (event,) = obs_events.get_log().tail(1)
+        assert event["run_id"] == ctx.run_id
+
+    def test_scoped_isolates_all_instruments(self):
+        ctx = runctx.RunContext.scoped(trace=True, mem=True)
+        assert ctx.owns_telemetry
+        with runctx.using(ctx):
+            assert trace.enabled()
+            assert trace.get_tracer() is ctx.tracer
+            assert obs_events.get_log() is ctx.events
+            assert obs_memory.get_tracker() is ctx.memory
+            with trace.span("kernel", mode=1):
+                pass
+            obs_events.emit("iteration", iteration=3)
+            registry.incr("als.iterations")
+        # Nothing leaked into the globals; everything is on the context.
+        assert len(trace._tracer) == 0
+        assert len(obs_events._log) == 0
+        assert registry.snapshot()["events"] == {}
+        assert len(ctx.tracer) == 1
+        assert ctx.metrics.snapshot()["events"] == {"als.iterations": 1}
+        assert ctx.events.tail(1)[0]["run_id"] == ctx.run_id
+
+    def test_scoped_flags_pin_over_globals(self):
+        """A scoped run traces even when the process default is off —
+        and an off-scoped run stays dark when the default is on."""
+        ctx_on = runctx.RunContext.scoped(trace=True)
+        ctx_off = runctx.RunContext.scoped(trace=False, events=False)
+        assert not trace.enabled()
+        with runctx.using(ctx_on):
+            assert trace.enabled()
+        trace.enable()
+        with runctx.using(ctx_off):
+            assert not trace.enabled()
+            assert not obs_events.enabled()
+
+    def test_status_lifecycle_and_registry(self):
+        ctx = runctx.RunContext.scoped()
+        assert ctx.status == "created"
+        with runctx.using(ctx):
+            assert ctx.status == "running"
+            assert runctx.current() is ctx
+            assert runctx.run_registry.get(ctx.run_id) is ctx
+        assert ctx.status == "finished"
+        assert ctx.finished_at is not None
+        assert runctx.current() is None
+        # Still listed after finishing (bounded retention, not deletion).
+        assert runctx.run_registry.get(ctx.run_id) is ctx
+
+    def test_failed_status_on_exception(self):
+        ctx = runctx.RunContext.scoped()
+        with pytest.raises(RuntimeError):
+            with runctx.using(ctx):
+                raise RuntimeError("boom")
+        assert ctx.status == "failed"
+
+    def test_registry_bounded_eviction_keeps_active(self):
+        reg = runctx.RunRegistry(keep_finished=2)
+        active = runctx.RunContext.scoped()
+        active.status = "running"
+        reg.register(active)
+        finished = [runctx.RunContext.scoped() for _ in range(4)]
+        for c in finished:
+            c.status = "finished"
+            reg.register(c)
+        ids = {c.run_id for c in reg.runs()}
+        assert active.run_id in ids
+        assert len([i for i in ids if i != active.run_id]) == 2
+        # The newest finished ones survived.
+        assert finished[-1].run_id in ids and finished[-2].run_id in ids
+
+
+class TestConcurrentRuns:
+    def test_two_cp_als_runs_zero_cross_talk(self):
+        """The acceptance-criteria scenario: two concurrent decompositions,
+        each with a scoped context, end with fully separated telemetry."""
+        ctxs = [
+            runctx.RunContext.scoped(run_id=f"run-iso{i}", trace=True)
+            for i in range(2)
+        ]
+        errors = []
+
+        def work(i):
+            try:
+                result = run_als(ctxs[i], seed=i)
+                assert result.n_iterations >= 1
+            except Exception as exc:  # pragma: no cover - fail loudly below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+        for i, ctx in enumerate(ctxs):
+            assert ctx.status == "finished"
+            spans = ctx.tracer.finished()
+            assert any(s.kind == "als_iteration" for s in spans)
+            assert validate_span_tree(spans) == []
+            run_ids = {e["run_id"] for e in ctx.events.tail(10_000)}
+            assert run_ids == {ctx.run_id}
+            snap = ctx.metrics.snapshot()
+            assert snap["spans"]["als_iteration"]["count"] >= 1
+        # Globals stayed untouched: the runs really were isolated.
+        assert len(trace._tracer) == 0
+        assert registry.snapshot()["events"] == {}
+        listed = {c.run_id for c in runctx.run_registry.runs()}
+        assert {"run-iso0", "run-iso1"} <= listed
+
+    def test_cp_als_without_context_gets_ambient(self):
+        """A bare cp_als call registers an ambient run on the registry."""
+        result = cp_als(small_tensor(), 3, strategy="star", n_iter_max=2)
+        assert result.n_iterations >= 1
+        runs = runctx.run_registry.runs()
+        assert len(runs) == 1
+        assert not runs[0].owns_telemetry
+        assert runs[0].status == "finished"
+        assert runs[0].meta.get("rank") == 3
+
+    def test_concurrent_emitters_stress(self):
+        """Satellite 2: ring buffer + registry under simultaneous emitters
+        from two runs (4 threads each), with exact final accounting."""
+        n_threads, n_each = 4, 200
+        ctxs = [
+            runctx.RunContext.scoped(run_id=f"run-stress{i}",
+                                     events_maxlen=2 * n_threads * n_each)
+            for i in range(2)
+        ]
+        barrier = threading.Barrier(2 * n_threads)
+        errors = []
+
+        def emitter(ctx):
+            try:
+                with runctx.using(ctx, register=False):
+                    barrier.wait(timeout=10)
+                    for k in range(n_each):
+                        obs_events.emit("iteration", iteration=k)
+                        registry.incr("als.iterations")
+                        registry.observe_span("kernel", 1e-6)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=emitter, args=(ctx,))
+            for ctx in ctxs for _ in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for ctx in ctxs:
+            assert len(ctx.events) == n_threads * n_each
+            assert ctx.events.n_dropped == 0
+            snap = ctx.metrics.snapshot()
+            assert snap["events"]["als.iterations"] == n_threads * n_each
+            assert snap["spans"]["kernel"]["count"] == n_threads * n_each
+            assert {e["run_id"] for e in ctx.events.tail(10_000)} == \
+                {ctx.run_id}
+
+
+class TestServeTwoRuns:
+    def _get(self, url):
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.read().decode()
+
+    def test_runz_and_metrics_with_two_runs(self):
+        """Satellite 3: both run_ids on /runz, distinct run_id labels on
+        /metrics, and the exposition still validates."""
+        ctxs = [
+            runctx.RunContext.scoped(run_id=f"run-serve{i}", trace=True)
+            for i in range(2)
+        ]
+        threads = [
+            threading.Thread(target=run_als, args=(ctxs[i], i))
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        with ObsServer(port=0) as server:
+            runz = json.loads(self._get(server.url + "/runz"))
+            listed = {r["run_id"]: r for r in runz["runs"]}
+            assert {"run-serve0", "run-serve1"} <= set(listed)
+            for i in range(2):
+                entry = listed[f"run-serve{i}"]
+                assert entry["scoped"] is True
+                assert entry["status"] == "finished"
+                assert entry["n_spans"] > 0
+                assert entry["run"]["iteration"] >= 1
+
+            text = self._get(server.url + "/metrics")
+        assert validate_openmetrics(text) == []
+        assert 'run_id="run-serve0"' in text
+        assert 'run_id="run-serve1"' in text
+        for i in range(2):
+            assert (f'repro_counter_mttkrps_total{{run_id="run-serve{i}"}}'
+                    in text)
+            assert (f'kind="als_iteration",run_id="run-serve{i}"' in text)
+
+    def test_render_without_runs_matches_legacy_shape(self):
+        registry.set_gauge("pool.imbalance", 1.5)
+        text = render_openmetrics(include_runs=False)
+        assert validate_openmetrics(text) == []
+        assert "repro_pool_imbalance 1.5" in text
+        assert "run_id=" not in text
+
+
+class TestMergeSubprocessSpans:
+    def payload(self):
+        """A worker-style batch: root kernel span with one child chunk."""
+        return [
+            {"id": 7, "parent": None, "kind": "kernel", "t0": 0.1,
+             "t1": 0.5, "tid": 1, "attrs": {"mode": 0}},
+            {"id": 8, "parent": 7, "kind": "kernel_chunk", "t0": 0.2,
+             "t1": 0.4, "tid": 1, "attrs": {"phase": "scatter"}},
+        ]
+
+    def test_remaps_ids_offsets_times_and_reparents(self):
+        trace.enable(clear=True)
+        with trace.span("pool_task", index=0) as rec:
+            pass
+        merged = trace.merge_subprocess_spans(
+            self.payload(), offset=10.0, parent=rec.id, tid=4242,
+        )
+        kernel, chunk = merged
+        assert kernel.parent == rec.id
+        assert chunk.parent == kernel.id
+        assert kernel.id != 7 and chunk.id != 8
+        assert kernel.t0 == pytest.approx(10.1)
+        assert chunk.t1 == pytest.approx(10.4)
+        assert kernel.tid == chunk.tid == 4242
+        assert registry.snapshot()["spans"]["kernel_chunk"]["count"] == 1
+        assert validate_span_tree(trace.get_tracer().finished(),
+                                  epsilon=20.0) == []
+
+    def test_noop_when_tracing_off(self):
+        assert trace.merge_subprocess_spans(
+            self.payload(), offset=0.0) == []
+        assert len(trace.get_tracer().finished()) == 0
+
+    def test_validate_span_tree_catches_breakage(self):
+        from repro.obs.trace import SpanRecord
+
+        good = SpanRecord(id=1, parent=None, kind="a", t0=0.0, tid=0,
+                          attrs={}, t1=1.0)
+        orphan = SpanRecord(id=2, parent=99, kind="b", t0=0.1, tid=0,
+                            attrs={}, t1=0.2)
+        escapee = SpanRecord(id=3, parent=1, kind="c", t0=0.5, tid=0,
+                             attrs={}, t1=5.0)
+        backwards = SpanRecord(id=4, parent=None, kind="d", t0=2.0, tid=0,
+                               attrs={}, t1=1.0)
+        errors = validate_span_tree([good, orphan, escapee, backwards])
+        assert len(errors) == 3
+        assert any("parent 99 not in batch" in e for e in errors)
+        assert any("ends" in e and "after" in e for e in errors)
+        assert any("t1" in e and "< t0" in e for e in errors)
+        assert validate_span_tree([good]) == []
+
+
+class TestProcessTierWorkerSpans:
+    def test_worker_interior_kernel_spans_in_merged_trace(self):
+        """The tentpole acceptance check, in-process: a traced process-tier
+        MTTKRP yields genuine worker-interior kernel spans — under their
+        pool_task parents, on worker-pid lanes — and the merged trace
+        passes the structural self-check."""
+        import os
+
+        from repro.parallel.procpool import ProcessMttkrp
+
+        tensor = small_tensor(3, shape=(14, 13, 12), nnz=600)
+        rng = np.random.default_rng(3)
+        factors = [rng.standard_normal((s, 4)) for s in tensor.shape]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            backend = ProcessMttkrp(
+                tensor, 2, layout="alto", allow_oversubscribe=True
+            )
+        try:
+            backend.set_factors(factors)
+            with trace.tracing():
+                backend.mttkrp(0)
+                spans = trace.get_tracer().finished()
+        finally:
+            backend.close()
+
+        by_id = {s.id: s for s in spans}
+        tasks = {s.id: s for s in spans if s.kind == "pool_task"}
+        kernels = [s for s in spans if s.kind == "kernel"]
+        decodes = [s for s in spans if s.kind == "alto_decode"]
+        chunks = [s for s in spans if s.kind == "kernel_chunk"]
+        assert tasks and kernels and decodes and chunks
+        parent_pid = os.getpid()
+        for k in kernels:
+            assert k.parent in tasks, "kernel span not under a pool_task"
+            task = tasks[k.parent]
+            assert task.attrs["source"] == "measured"
+            assert task.attrs["pid"] != parent_pid
+            # Worker spans render on the worker's pid lane.
+            assert k.tid == task.attrs["pid"]
+        for c in chunks:
+            assert by_id[c.parent].kind == "kernel"
+        assert validate_span_tree(spans) == []
