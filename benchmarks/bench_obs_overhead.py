@@ -17,6 +17,11 @@ three configurations:
   from the cost model, per-iteration windows diffed into
   predicted-vs-measured readings, i.e. what ``repro explain --measure``
   and ``repro trace`` turn on;
+* ``enabled_roofline`` — spans plus a per-iteration roofline
+  attribution pass (:func:`repro.obs.roofline.throughput_from_spans`
+  joining every finished span so far with the model's per-node terms,
+  then republishing the achieved-throughput gauges), i.e. what a live
+  roofline panel costs; the pass runs *inside* the timed window;
 * ``enabled_events_serve`` — spans plus the structured event log and a
   live :class:`repro.obs.serve.ObsServer` scraping thread running for
   the duration, i.e. the full ``repro serve <cmd>`` live-telemetry
@@ -75,6 +80,7 @@ def _best_iteration_seconds(engine, repeats: int, *,
                             watchdog: DriftWatchdog | None = None,
                             mem_tracker=None,
                             attr_recorder=None,
+                            roofline_pass=None,
                             emit_iteration_events: bool = False) -> float:
     _als_iteration(engine)  # warm: caches, arena, (when tracing) span path
     best = float("inf")
@@ -91,6 +97,8 @@ def _best_iteration_seconds(engine, repeats: int, *,
             watchdog.observe(i, c, seconds)
         else:
             _als_iteration(engine)
+            if roofline_pass is not None:
+                roofline_pass()  # part of the cost under test: stay timed
             seconds = time.perf_counter() - t0
         if mem_tracker is not None:
             mem_tracker.observe_iteration(
@@ -159,6 +167,29 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
     )
     obs_attr.disable()
     recorder.reset()
+
+    from repro.obs.roofline import (publish_roofline_gauges,
+                                    throughput_from_spans, tree_node_terms)
+
+    obs_trace.get_tracer().clear()
+    node_terms = tree_node_terms(
+        engine.strategy, engine.symbolic.node_nnz(), ACCEPT_RANK
+    )
+    tracer = obs_trace.get_tracer()
+
+    def _roofline_pass() -> None:
+        publish_roofline_gauges(None, throughput_from_spans(
+            tracer.finished(), shape=tensor.shape, rank=ACCEPT_RANK,
+            node_terms=node_terms,
+        ))
+
+    with_roofline = _best_iteration_seconds(
+        engine, repeats, roofline_pass=_roofline_pass
+    )
+    roofline_configs = len(throughput_from_spans(
+        tracer.finished(), shape=tensor.shape, rank=ACCEPT_RANK,
+        node_terms=node_terms,
+    ))
 
     from repro.obs.serve import ObsServer
 
@@ -241,6 +272,10 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
                 "seconds_per_iteration": with_attribution,
                 "overhead_pct": pct(with_attribution),
             },
+            "enabled_roofline": {
+                "seconds_per_iteration": with_roofline,
+                "overhead_pct": pct(with_roofline),
+            },
             "enabled_events_serve": {
                 "seconds_per_iteration": with_events_serve,
                 "overhead_pct": pct(with_events_serve),
@@ -263,6 +298,7 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
         "memtrack": {"peak_bytes": mem_peak, "events": mem_events},
         "attribution": {"readings": attr_readings,
                         "max_node_flop_err": attr_worst_err},
+        "roofline": {"configs": roofline_configs},
         "events_logged": n_events,
     }
 
@@ -298,6 +334,14 @@ def main() -> None:
     )
     assert report["attribution"]["max_node_flop_err"] == 0.0, (
         "attributed per-node flops diverged from the model on numpy"
+    )
+    roofline = report["runs"]["enabled_roofline"]
+    assert roofline["overhead_pct"] < 2.0, (
+        f"roofline attribution pass costs {roofline['overhead_pct']:.2f}%, "
+        f"exceeding the 2% budget"
+    )
+    assert report["roofline"]["configs"] >= 1, (
+        "roofline pass attributed no kernel configs on a traced run"
     )
     capture = report["runs"]["process_worker_capture"]
     synth = report["runs"]["process_synthesized"]

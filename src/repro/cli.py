@@ -406,6 +406,15 @@ def cmd_trace(args) -> int:
         with open(attribution_path, "w") as fh:
             _json.dump(attr.snapshot(), fh, indent=2)
             fh.write("\n")
+    # Snapshot the host calibration (load-only, never measures) so the
+    # trace dir is self-contained for later roofline attribution.
+    from .model.calibrate import load_roofline, machine_artifact
+
+    roofline = load_roofline()
+    if roofline is not None:
+        with open(os.path.join(args.trace_dir, "machine.json"), "w") as fh:
+            _json.dump(machine_artifact(roofline), fh, indent=2)
+            fh.write("\n")
 
     print(f"\n-- traced {len(spans)} spans in {elapsed:.2f}s "
           f"({run_ctx.run_id})")
@@ -486,6 +495,37 @@ def cmd_report(args) -> int:
             if rendered:
                 print()
                 print(rendered)
+    # One-line achieved-throughput summary; trace dirs recorded before
+    # calibration existed simply report "uncalibrated".
+    from .obs.roofline import report_from_trace_dir, report_line
+
+    print()
+    print(report_line(report_from_trace_dir(os.path.dirname(path) or ".")))
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    from .model.calibrate import calibrate_roofline, default_machine_path
+    from .obs.roofline import (publish_roofline_gauges, report_from_trace_dir,
+                               roofline_report)
+
+    path = args.out or default_machine_path()
+    roofline = calibrate_roofline(
+        force=args.force, quick=args.quick, path=path,
+        max_threads=args.max_threads,
+    )
+    if args.trace_dir:
+        report = report_from_trace_dir(args.trace_dir, roofline)
+    else:
+        report = roofline_report([], roofline)
+    publish_roofline_gauges(report.roofline, report.configs)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+        print(f"\nmachine artifact: {path}")
     return 0
 
 
@@ -642,7 +682,13 @@ def cmd_dashboard(args) -> int:
     utilization = None
     pool_tasks: list[dict] = []
     attribution_doc = None
+    roofline_doc = None
     if args.trace_dir and os.path.isdir(args.trace_dir):
+        from .obs.roofline import report_from_trace_dir
+
+        roofline_report = report_from_trace_dir(args.trace_dir)
+        if roofline_report.calibrated or roofline_report.configs:
+            roofline_doc = roofline_report.to_dict()
         memory_path = os.path.join(args.trace_dir, "memory.json")
         jsonl_path = os.path.join(args.trace_dir, "trace.jsonl")
         attr_path = os.path.join(args.trace_dir, "attribution.json")
@@ -679,6 +725,7 @@ def cmd_dashboard(args) -> int:
         kind_table_text=kinds,
         trace_summary=summary,
         attribution=attribution_doc,
+        roofline=roofline_doc,
     )
     print(f"wrote {out} ({len(entries)} history entries, "
           f"{len(readings)} memory readings)")
@@ -913,6 +960,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-children", type=int, default=12,
                    help="sibling spans shown per node before eliding")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "roofline",
+        help="measure machine ceilings / attribute achieved throughput",
+        description="STREAM-style bandwidth saturation curve + dense "
+        "compute ceiling, cached as a repro-machine/v1 artifact that "
+        "'repro plan' prices bandwidth scaling from.  With --trace-dir, "
+        "joins a saved trace's kernel spans with the cost model's "
+        "flop/byte terms to report achieved GB/s and GFLOP/s per kernel "
+        "config as roofline fractions.",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="small measurement sizes (CI smoke; still a valid "
+                   "artifact)")
+    p.add_argument("--force", action="store_true",
+                   help="re-measure even when a cached artifact exists")
+    p.add_argument("--max-threads", type=int, default=None,
+                   help="cap the bandwidth curve's thread counts")
+    p.add_argument("--trace-dir", default=None,
+                   help="a 'repro trace' output directory to attribute")
+    p.add_argument("--out", default=None,
+                   help="artifact path (default: $REPRO_MACHINE or "
+                   "~/.cache/repro/repro-machine-v1.json)")
+    p.add_argument("--json", action="store_true",
+                   help="print the repro-roofline/v1 report as JSON")
+    p.set_defaults(fn=cmd_roofline)
 
     return parser
 

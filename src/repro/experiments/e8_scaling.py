@@ -23,6 +23,13 @@ Each thread-tier worker count also gets a *measured* load-imbalance column
 scaling model assumes — the SPLATT-style diagnostic for why a speedup
 curve flattens.  "-" means the engine never fanned out at that
 configuration (rebuilds below the chunking threshold run sequentially).
+
+A roofline column completes the diagnosis: each thread-tier time is
+converted to achieved bandwidth (the cost model's words/iteration over
+measured seconds) and reported as a fraction of the machine's measured
+triad ceiling (:func:`repro.model.calibrate.calibrate_roofline`).  A
+fraction that plateaus while workers increase is bandwidth saturation —
+the paper's explanation for the knee in the strong-scaling figure.
 """
 
 from __future__ import annotations
@@ -34,7 +41,8 @@ import numpy as np
 from ..core.cpals import initialize_factors
 from ..core.strategy import balanced_binary
 from ..core.symbolic import SymbolicTree
-from ..model.calibrate import calibrate_machine
+from ..core.dtypes import VALUE_ITEMSIZE
+from ..model.calibrate import calibrate_machine, calibrate_roofline
 from ..model.cost import cost_from_symbolic, execution_candidates
 from ..parallel.engine import ParallelMemoizedMttkrp
 from ..parallel.procpool import ProcessMttkrp
@@ -132,6 +140,11 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
     tensor = load_scaled(name, scale)
     strategy = balanced_binary(tensor.ndim)
     machine = calibrate_machine()
+    # Quick roofline calibration (cached to the repro-machine/v1 artifact):
+    # turns each measured thread-tier time into an achieved-bandwidth
+    # fraction, so the table says *why* the curve flattens, not just that
+    # it does.
+    roofline = calibrate_roofline(quick=True)
     cost = cost_from_symbolic(SymbolicTree(tensor, strategy), rank, machine)
     modeled = simulate_speedup_curve(
         cost, workers, machine=machine,
@@ -171,10 +184,18 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
             tensor, rank, p, "alto", repeats
         )
     base = measured_times[workers[0]]
+    # Achieved bandwidth of the thread tier at each worker count: the cost
+    # model's words/iteration over the measured wall seconds, as a fraction
+    # of the measured triad ceiling.  A flat fraction across p is the
+    # roofline explanation for a flat speedup curve.
+    iter_bytes = cost.words_per_iteration * VALUE_ITEMSIZE
     rows = []
     measured_speedup = {}
+    roofline_fraction = {}
     for p in workers:
         measured_speedup[p] = base / measured_times[p]
+        achieved_gbs = iter_bytes / measured_times[p] / 1e9
+        roofline_fraction[p] = achieved_gbs / roofline.peak_bandwidth_gbs
         probe = measured_imbalance[p]
         rows.append([
             p,
@@ -184,6 +205,7 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
             round(process_times[p] * 1e3, 3),
             round(alto_times[p] * 1e3, 3),
             round(modeled_process[p], 2),
+            f"{roofline_fraction[p] * 100:.1f}%",
             (f"{probe[0]:.3f} ({probe[1]})" if probe is not None else "-"),
         ])
     host_cpus = os.cpu_count() or 1
@@ -193,7 +215,8 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
         title=f"{TITLE} ({name}, strategy=bdt)",
         headers=["workers", "thread ms/iter", "thread speedup",
                  "modeled thread", "process ms/iter", "alto ms/iter",
-                 "modeled process", "measured imbalance (timings)"],
+                 "modeled process", "roofline %",
+                 "measured imbalance (timings)"],
         rows=rows,
         expected_shape=(
             "Modeled thread speedup near-linear until the bandwidth knee but "
@@ -203,10 +226,18 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
             "when host_cpus covers the worker count; the two process-tier "
             "layouts are bitwise identical everywhere.  Measured pool "
             "imbalance near 1.0 = balanced fan-outs; growth with workers "
-            "explains curve flattening."
+            "explains curve flattening.  The roofline column (modeled "
+            "traffic over measured seconds vs the measured triad ceiling) "
+            "stops growing once bandwidth saturates — workers past that "
+            "point cannot help."
         ),
         observations={
             "host_cpus": host_cpus,
+            "roofline_peak_bandwidth_gbs": roofline.peak_bandwidth_gbs,
+            "roofline_saturation_workers": roofline.saturation_workers,
+            "thread_roofline_fraction": {
+                int(k): v for k, v in roofline_fraction.items()
+            },
             "measured_speedup": {int(k): v for k, v in measured_speedup.items()},
             "modeled_speedup": {int(k): v for k, v in modeled.items()},
             "modeled_process_speedup": {

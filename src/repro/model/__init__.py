@@ -1,10 +1,16 @@
 """Performance model and the adaptive (model-driven) strategy planner."""
 
-from .calibrate import calibrate_machine, reset_calibration
-from .cost import (DEFAULT_EXECUTION, DEFAULT_MACHINE, CostReport,
-                   ExecutionCandidate, ExecutionParams, MachineModel,
+from .calibrate import (MACHINE_SCHEMA, BandwidthPoint, MachineRoofline,
+                        calibrate_machine, calibrate_roofline,
+                        default_machine_path, load_roofline, machine_artifact,
+                        measure_roofline, reset_calibration,
+                        validate_machine_artifact)
+from .cost import (DEFAULT_EXECUTION, DEFAULT_MACHINE,
+                   FALLBACK_BANDWIDTH_WORKERS, CostReport, ExecutionCandidate,
+                   ExecutionParams, MachineModel, coo_mode_work,
                    cost_from_symbolic, cost_report, execution_candidates,
-                   iteration_flops_words, recommend_execution,
+                   iteration_flops_words, iteration_io_lower_bound_bytes,
+                   recommend_execution, resolve_bandwidth_workers,
                    simulate_peak_value_bytes, symbolic_index_bytes)
 from .fit import WorkSample, collect_samples, fit_machine_model, fitted_machine
 from .overlap import DistinctCounter
@@ -13,19 +19,32 @@ from .search import greedy_tree, search_candidates
 from .report import format_table
 
 __all__ = [
+    "MACHINE_SCHEMA",
+    "BandwidthPoint",
+    "MachineRoofline",
     "calibrate_machine",
+    "calibrate_roofline",
+    "default_machine_path",
+    "load_roofline",
+    "machine_artifact",
+    "measure_roofline",
     "reset_calibration",
+    "validate_machine_artifact",
     "DEFAULT_EXECUTION",
     "DEFAULT_MACHINE",
+    "FALLBACK_BANDWIDTH_WORKERS",
     "CostReport",
     "ExecutionCandidate",
     "ExecutionParams",
     "MachineModel",
+    "coo_mode_work",
     "cost_from_symbolic",
     "cost_report",
     "execution_candidates",
     "iteration_flops_words",
+    "iteration_io_lower_bound_bytes",
     "recommend_execution",
+    "resolve_bandwidth_workers",
     "simulate_peak_value_bytes",
     "symbolic_index_bytes",
     "DistinctCounter",

@@ -317,6 +317,10 @@ class ExecutionParams:
     ``memory_bound_fraction`` / ``bandwidth_workers`` mirror
     :class:`repro.parallel.simulate.ScalingParams`: that share of kernel
     time scales only to the memory system's effective stream count.
+    ``bandwidth_workers=None`` (the default) defers to
+    :func:`resolve_bandwidth_workers`: the measured saturation point from
+    the host's ``repro-machine/v1`` calibration artifact when one exists,
+    else the historical guess of 8 — an explicit value always wins.
     ``ipc_seconds_per_task`` is one process-pool dispatch + result
     (pickled specs and bounds, a few hundred bytes).
     ``alto_decode_flops_per_index`` prices recovering one coordinate from
@@ -329,13 +333,40 @@ class ExecutionParams:
 
     gil_serial_fraction: float = 0.45
     memory_bound_fraction: float = 0.6
-    bandwidth_workers: int = 8
+    bandwidth_workers: int | None = None
     sync_seconds: float = 5e-5
     ipc_seconds_per_task: float = 2e-4
     alto_decode_flops_per_index: int = 1
 
 
 DEFAULT_EXECUTION = ExecutionParams()
+
+#: the pre-calibration guess for the memory system's effective stream
+#: count, used only when no ``repro-machine/v1`` artifact exists.
+FALLBACK_BANDWIDTH_WORKERS = 8
+
+
+def resolve_bandwidth_workers(
+    params: ExecutionParams = DEFAULT_EXECUTION,
+) -> tuple[int, str]:
+    """``(bandwidth_workers, source)`` for the execution model.
+
+    Source is ``"explicit"`` when the params pin a value, ``"calibrated"``
+    when the host's roofline artifact supplies its measured saturation
+    point (:func:`repro.model.calibrate.load_roofline` — load-only, never
+    measures), and ``"default"`` for the
+    :data:`FALLBACK_BANDWIDTH_WORKERS` guess.  Plan artifacts record the
+    source so a decision made from a guess is distinguishable from one
+    made from a measurement.
+    """
+    if params.bandwidth_workers is not None:
+        return int(params.bandwidth_workers), "explicit"
+    from .calibrate import load_roofline
+
+    roofline = load_roofline()
+    if roofline is not None:
+        return max(1, int(roofline.saturation_workers)), "calibrated"
+    return FALLBACK_BANDWIDTH_WORKERS, "default"
 
 
 @dataclass
@@ -372,29 +403,75 @@ class ExecutionCandidate:
         }
 
 
+def coo_mode_work(shape, nnz: int, rank: int, mode: int, layout: str,
+                  params: ExecutionParams = DEFAULT_EXECUTION
+                  ) -> tuple[float, float]:
+    """(flops, words) of one COO MTTKRP for ``mode`` over ``nnz`` nonzeros.
+
+    ``N-1`` gathered-row Hadamard multiplies, the value multiply, and the
+    scatter-add (``nnz*R*(N+1)`` flops); value traffic is the gathered
+    rows, the value vector, and the output read+write; index traffic is
+    ``N`` coordinate reads per nonzero on the COO layout and one packed
+    code per nonzero plus decode flops on alto.
+
+    Pass a shard's nonzero count to price one worker's span: the output
+    term stays full-size because every shard scatters into its own
+    ``I_n x R`` partial (the roofline attribution pass joins these terms
+    to measured ``kernel`` span seconds, so the convention must match
+    what a shard actually touches).
+    """
+    ndim = len(shape)
+    flops = float(nnz * rank * (ndim + 1))
+    words = float(nnz * rank * (ndim - 1) + nnz + 2 * shape[mode] * rank)
+    if layout == "alto":
+        words += nnz
+        flops += params.alto_decode_flops_per_index * ndim * nnz
+    else:
+        words += nnz * ndim
+    return flops, words
+
+
 def _iteration_base(shape, nnz: int, rank: int, layout: str,
                     params: ExecutionParams) -> tuple[float, float, int]:
     """(flops, words, index_bytes) of one COO MTTKRP iteration (all modes).
 
-    Per mode ``n``: ``N-1`` gathered-row Hadamard multiplies, the value
-    multiply, and the scatter-add (``nnz*R*(N+1)`` flops); value traffic is
-    the gathered rows, the value vector, and the output read+write;
-    index traffic is ``N`` coordinate reads per nonzero on the COO layout
-    and one packed code per nonzero plus decode flops on alto.
+    The per-mode addends are exactly :func:`coo_mode_work`, so span-level
+    attributions built from it partition these totals.
     """
     ndim = len(shape)
     flops = 0.0
     words = 0.0
     for n in range(ndim):
-        flops += nnz * rank * (ndim + 1)
-        words += nnz * rank * (ndim - 1) + nnz + 2 * shape[n] * rank
-        if layout == "alto":
-            words += nnz
-            flops += params.alto_decode_flops_per_index * ndim * nnz
-        else:
-            words += nnz * ndim
+        f, w = coo_mode_work(shape, nnz, rank, n, layout, params)
+        flops += f
+        words += w
     index_bytes = nnz * (8 if layout == "alto" else ndim * INDEX_ITEMSIZE)
     return flops, words, index_bytes
+
+
+def iteration_io_lower_bound_bytes(shape, nnz: int, rank: int,
+                                   layout: str = "numpy") -> int:
+    """Compulsory memory traffic of one COO iteration: the roofline floor.
+
+    Per mode: every nonzero value and its coordinates (or packed code)
+    must be read once, every non-target factor streamed once (assuming
+    perfect cache reuse of gathered rows — the bound's whole point), and
+    the output written once.  No model parameters enter: this is the
+    traffic no schedule, chunking, or layout trick can avoid, so
+    ``bytes / measured_bandwidth`` is a machine-checkable time floor for
+    ``repro plan`` to cite next to its alpha/beta prediction.
+    """
+    ndim = len(shape)
+    idx_bytes = INDEX_ITEMSIZE if layout == "alto" else ndim * INDEX_ITEMSIZE
+    total = 0
+    for n in range(ndim):
+        total += nnz * VALUE_ITEMSIZE            # nonzero values
+        total += nnz * idx_bytes                 # coordinates / packed codes
+        total += sum(
+            shape[m] for m in range(ndim) if m != n
+        ) * rank * VALUE_ITEMSIZE                # factors streamed once
+        total += shape[n] * rank * VALUE_ITEMSIZE  # output written once
+    return int(total)
 
 
 def execution_candidates(
@@ -421,7 +498,8 @@ def execution_candidates(
     p = max(1, int(n_workers))
     alto_total_bits = sum(alto_bits(shape))
     alto_ok = alto_total_bits <= MAX_BITS
-    eff = min(p, params.bandwidth_workers)
+    bandwidth_workers, _bw_source = resolve_bandwidth_workers(params)
+    eff = min(p, bandwidth_workers)
     # Exactly 1.0 at p=1 so both tiers price a single worker identically
     # (and recommend_execution's min() resolves the tie to "thread",
     # which needs no pool at all).
@@ -448,6 +526,10 @@ def execution_candidates(
                 "flops": flops,
                 "words": words,
                 "base_seconds": base,
+                "bandwidth_workers": bandwidth_workers,
+                "io_lower_bound_bytes": iteration_io_lower_bound_bytes(
+                    shape, nnz, rank, layout
+                ),
             }
             if tier == "thread":
                 gil = base * params.gil_serial_fraction

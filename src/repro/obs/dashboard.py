@@ -18,6 +18,10 @@ file a reviewer can open without a server, a JS bundle, or network access:
   flop table from an ``attribution.json`` (``repro-attr/v1``, written by
   ``repro trace`` when a run had attribution live), with out-of-band
   ratios flagged, plus the per-mode breakdown;
+* **roofline panel** — the calibrated bandwidth-saturation curve (triad
+  GB/s vs threads from the ``repro-machine/v1`` artifact) and each kernel
+  config's achieved throughput as a horizontal bar against the ceiling,
+  from a ``repro-roofline/v1`` report dict;
 * **trace summaries** — the per-kind aggregate table and span tree of a
   saved JSONL trace.
 
@@ -436,6 +440,148 @@ def _attribution_section(doc: dict) -> str:
     return out
 
 
+def _roofline_curve(machine: dict) -> str:
+    """Bandwidth-vs-threads saturation curve from a machine payload."""
+    points = machine.get("bandwidth_points") or []
+    if not points:
+        return ""
+    width, height, pad = 420, 170, 36
+    peak = machine.get("peak_bandwidth_gbs") or max(
+        p["triad_gbs"] for p in points
+    )
+    hi = peak * 1.15
+    n = len(points)
+    sat = machine.get("saturation_workers")
+
+    def xy(i: int, v: float) -> tuple[float, float]:
+        x = pad + (width - 2 * pad) * (i / max(n - 1, 1))
+        y = (height - pad) - (height - 2 * pad) * (v / hi)
+        return x, y
+
+    ceiling_y = (height - pad) - (height - 2 * pad) * (peak / hi)
+    parts = [
+        f'<line x1="{pad}" y1="{ceiling_y:.1f}" x2="{width - pad}" '
+        f'y2="{ceiling_y:.1f}" stroke="{_GRID}" stroke-width="1" '
+        f'stroke-dasharray="4 3"/>'
+        f'<text x="{width - pad}" y="{ceiling_y - 4:.1f}" text-anchor="end" '
+        f'font-size="10" fill="#52514e">ceiling {peak:.2f} GB/s</text>'
+    ]
+    for series, color, label in (
+        ("triad_gbs", _SERIES_1, "triad"),
+        ("gather_gbs", _SERIES_2, "gather"),
+    ):
+        vals = [float(p.get(series, 0.0)) for p in points]
+        poly = " ".join(
+            f"{x:.1f},{y:.1f}" for x, y in
+            (xy(i, v) for i, v in enumerate(vals))
+        )
+        dots = "".join(
+            f'<circle cx="{xy(i, v)[0]:.1f}" cy="{xy(i, v)[1]:.1f}" r="4" '
+            f'fill="{color}"><title>{points[i]["threads"]} thread(s): '
+            f"{label} {v:.2f} GB/s</title></circle>"
+            for i, v in enumerate(vals)
+        )
+        lx, ly = xy(n - 1, vals[-1])
+        parts.append(
+            f'<polyline points="{poly}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>{dots}'
+            f'<text x="{min(lx + 8, width - 4):.1f}" y="{ly + 4:.1f}" '
+            f'fill="{color}" font-size="11">{html.escape(label)}</text>'
+        )
+    for i, p in enumerate(points):
+        x, _ = xy(i, 0.0)
+        mark = " &#9650;" if p.get("threads") == sat else ""
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - pad + 14}" text-anchor="middle" '
+            f'font-size="10" fill="#52514e">{p["threads"]}{mark}</text>'
+        )
+    parts.append(
+        f'<text x="{width // 2}" y="{height - 4}" text-anchor="middle" '
+        f'font-size="10" fill="#52514e">threads '
+        f"(&#9650; = saturation at {sat})</text>"
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="memory bandwidth vs thread count">'
+        + "".join(parts) + "</svg>"
+    )
+
+
+def _roofline_section(doc: dict) -> str:
+    """Panel from a ``repro-roofline/v1`` report dict.
+
+    Renders whatever is present: the saturation curve needs a calibrated
+    machine payload, the config table only needs spans; an uncalibrated
+    report shows achieved GB/s with "-" fractions plus the note saying
+    how to calibrate.
+    """
+    parts = []
+    machine = doc.get("machine")
+    if machine:
+        parts.append(
+            "<p class='meta'>measured ceilings: bandwidth "
+            f"{machine.get('peak_bandwidth_gbs', 0.0):.2f} GB/s (gather "
+            f"{machine.get('peak_gather_gbs', 0.0):.2f} GB/s), compute "
+            f"{machine.get('peak_gflops', 0.0):.2f} GFLOP/s &middot; "
+            f"saturates at {machine.get('saturation_workers')} worker(s) "
+            f"&middot; {machine.get('host_cpus')} cpus"
+            + (" &middot; quick calibration" if machine.get("quick") else "")
+            + "</p>"
+        )
+        parts.append(_roofline_curve(machine))
+    configs = doc.get("configs") or []
+    if configs:
+        peak = (machine or {}).get("peak_bandwidth_gbs")
+        rows = []
+        for c in configs:
+            frac = c.get("bandwidth_fraction")
+            if frac is not None:
+                bar_w = max(min(frac, 1.0) * 160, 1.0)
+                bar = (
+                    f'<svg width="166" height="12" viewBox="0 0 166 12">'
+                    f'<rect x="0" y="0" width="160" height="12" rx="3" '
+                    f'fill="{_GRID}" fill-opacity="0.6"/>'
+                    f'<rect x="0" y="0" width="{bar_w:.1f}" height="12" '
+                    f'rx="3" fill="{_SERIES_1}">'
+                    f"<title>{frac * 100:.1f}% of {peak:.2f} GB/s</title>"
+                    f"</rect></svg> "
+                    f'<span class="num">{frac * 100:.1f}%</span>'
+                )
+            else:
+                bar = "-"
+            comp = c.get("compute_fraction")
+            rows.append(
+                "<tr>"
+                f"<td>{html.escape(str(c.get('config')))}</td>"
+                f'<td class="num">{c.get("spans", 0)}</td>'
+                f'<td class="num">{c.get("seconds", 0.0) * 1e3:.3f}</td>'
+                f'<td class="num">{c.get("gbs", 0.0):.3f}</td>'
+                f'<td class="num">{c.get("gflops", 0.0):.3f}</td>'
+                f"<td>{bar}</td>"
+                f'<td class="num">'
+                f"{'-' if comp is None else f'{comp * 100:.1f}%'}</td>"
+                f"<td>{html.escape(str(c.get('bound', 'unknown')))}</td>"
+                "</tr>"
+            )
+        parts.append(
+            "<table><thead><tr><th>config</th><th>spans</th><th>ms</th>"
+            "<th>GB/s</th><th>GFLOP/s</th><th>% of bandwidth roofline</th>"
+            "<th>% compute</th><th>bound</th></tr></thead><tbody>"
+            + "".join(rows) + "</tbody></table>"
+        )
+    elif machine:
+        parts.append("<p class='meta'>(no attributable kernel spans in "
+                     "this trace)</p>")
+    for line in doc.get("guidance") or []:
+        parts.append(f"<p class='meta'>&rarr; {html.escape(line)}</p>")
+    for note in doc.get("notes") or []:
+        parts.append(f"<p class='meta'>note: {html.escape(note)}</p>")
+    if not parts:
+        return "<p class='meta'>(no roofline data)</p>"
+    return "".join(parts)
+
+
 def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      diffs: list[DiffResult] | None = None,
                      memory_readings: list[dict] | None = None,
@@ -444,6 +590,7 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      trace_summary: str | None = None,
                      kind_table_text: str | None = None,
                      attribution: dict | None = None,
+                     roofline: dict | None = None,
                      title: str = "repro dashboard") -> str:
     """Assemble the full self-contained HTML document (returns the string)."""
     info = build_info()
@@ -478,6 +625,10 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
         parts.append("<h2>Cost attribution: predicted vs measured "
                      "per tree node</h2>")
         parts.append(_attribution_section(attribution))
+    if roofline is not None:
+        parts.append("<h2>Roofline: achieved throughput vs machine "
+                     "ceilings</h2>")
+        parts.append(_roofline_section(roofline))
     if kind_table_text:
         parts.append("<h2>Trace: per-kind aggregates</h2>")
         parts.append(f"<pre>{html.escape(kind_table_text)}</pre>")

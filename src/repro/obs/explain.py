@@ -210,6 +210,35 @@ class PlanExplanation:
                        f"{self.execution.get('n_workers')} workers: "
                        f"{rec.get('tier')}/{rec.get('layout')}"),
             ))
+            bw = self.execution.get("bandwidth_workers")
+            bw_source = self.execution.get("bandwidth_workers_source")
+            roofline = self.execution.get("roofline") or {}
+            if roofline.get("calibrated"):
+                io_bytes = rec.get("terms", {}).get("io_lower_bound_bytes")
+                pred = rec.get("predicted_seconds")
+                peak = roofline["peak_bandwidth_gbs"]
+                sat = roofline["saturation_workers"]
+                line = (f"roofline: bandwidth_workers={bw} ({bw_source}); "
+                        f"ceiling {peak:.2f} GB/s saturates at {sat} "
+                        f"worker(s)")
+                if io_bytes and pred:
+                    floor = io_bytes / 1e9 / peak
+                    frac = min(1.0, floor / pred)
+                    line += (
+                        f"; {rec.get('tier')}/{rec.get('layout')} must move "
+                        f">={io_bytes / 1e6:.3f} MB/iter -> floor "
+                        f"{floor * 1e3:.3f} ms, {frac * 100.0:.0f}% of the "
+                        f"bandwidth roofline at the predicted time"
+                    )
+                    if frac >= 0.5:
+                        line += f"; >{sat} workers cannot help"
+                parts.append(line)
+            else:
+                parts.append(
+                    f"roofline: uncalibrated — bandwidth_workers={bw} "
+                    f"({bw_source}); run 'repro roofline' to measure this "
+                    f"host's ceilings"
+                )
         return "\n\n".join(parts)
 
 
@@ -312,15 +341,32 @@ def explain_plan(
         ))
     execution = None
     if n_workers is not None:
+        from ..model.calibrate import load_roofline
+        from ..model.cost import resolve_bandwidth_workers
+
         exec_cands = execution_candidates(
             tensor.shape, tensor.nnz, rank, n_workers, machine_model
         )
+        bw_workers, bw_source = resolve_bandwidth_workers()
+        roofline = load_roofline()
         execution = {
             "n_workers": int(n_workers),
             "recommended": recommend_execution(
                 tensor.shape, tensor.nnz, rank, n_workers, machine_model
             ).to_dict(),
             "candidates": [c.to_dict() for c in exec_cands],
+            # which bandwidth-saturation figure priced the candidates: a
+            # measured roofline knee or the pre-calibration default.
+            "bandwidth_workers": bw_workers,
+            "bandwidth_workers_source": bw_source,
+            "roofline": (
+                {"calibrated": False} if roofline is None else {
+                    "calibrated": True,
+                    "peak_bandwidth_gbs": roofline.peak_bandwidth_gbs,
+                    "peak_gflops": roofline.peak_gflops,
+                    "saturation_workers": roofline.saturation_workers,
+                }
+            ),
         }
     return PlanExplanation(
         tensor_shape=tuple(tensor.shape),
@@ -425,3 +471,25 @@ def validate_plan_artifact(doc: dict) -> None:
             raise ValueError(
                 "recommended execution is not the cheapest feasible candidate"
             )
+        # Additive since roofline calibration: older artifacts omit the
+        # bandwidth-source bookkeeping entirely; when present it must be
+        # coherent.
+        source = execution.get("bandwidth_workers_source")
+        if source is not None:
+            if source not in ("explicit", "calibrated", "default"):
+                raise ValueError(
+                    f"unknown bandwidth_workers_source {source!r}"
+                )
+            bw = execution.get("bandwidth_workers")
+            if not (isinstance(bw, int) and bw >= 1):
+                raise ValueError(
+                    f"bandwidth_workers {bw!r} must be a positive int"
+                )
+            roofline = execution.get("roofline")
+            if source == "calibrated" and not (
+                isinstance(roofline, dict) and roofline.get("calibrated")
+            ):
+                raise ValueError(
+                    "bandwidth_workers_source is 'calibrated' but the "
+                    "execution section carries no calibrated roofline"
+                )

@@ -485,6 +485,20 @@ def load_trace_dir(trace_dir: str) -> dict:
             _registry.set_gauge("attr.max_node_flops_err", max_err)
             loaded["gauges"] += 1
 
+    # Roofline gauges: the trace dir snapshots the calibration it ran
+    # under (machine.json), so a replayed /metrics serves the same
+    # repro_roofline_* families as the original host — ceilings plus the
+    # achieved fractions recomputed from the replayed spans.
+    machine_path = os.path.join(trace_dir, "machine.json")
+    if os.path.exists(machine_path):
+        from .roofline import publish_roofline_gauges, report_from_trace_dir
+
+        report = report_from_trace_dir(trace_dir, load=False)
+        if report.calibrated:
+            found = True
+            publish_roofline_gauges(report.roofline, report.configs)
+            loaded["gauges"] += 4 + len(report.roofline.bandwidth_points)
+
     if not found:
         raise FileNotFoundError(
             f"no trace artifacts (trace.jsonl / metrics.json / "

@@ -279,12 +279,17 @@ class ParallelCooMttkrp(MttkrpBackend):
             return np.zeros(
                 (self.tensor.shape[mode], self.rank), dtype=VALUE_DTYPE
             )
-        tasks = [
-            (lambda lo=lo, hi=hi: self._partial(lo, hi, mode))
-            for lo, hi in self.chunks
-        ]
-        partials = self.pool.run(tasks)
-        out = partials[0]
-        for p in partials[1:]:
-            out += p
+        # One kernel span per mode with the attrs the roofline attribution
+        # pass prices (`repro.obs.roofline`): backend names the layout,
+        # mode+nnz select the cost model's per-mode flop/word terms.
+        with _trace.span("kernel", backend=self.name, mode=mode,
+                         nnz=self.tensor.nnz):
+            tasks = [
+                (lambda lo=lo, hi=hi: self._partial(lo, hi, mode))
+                for lo, hi in self.chunks
+            ]
+            partials = self.pool.run(tasks)
+            out = partials[0]
+            for p in partials[1:]:
+                out += p
         return out

@@ -177,9 +177,22 @@ class TestCalibrate:
         m1 = calibrate_machine(n_elements=100_000, repeats=1)
         assert m1.alpha_per_flop > 0
         assert m1.beta_per_word > 0
-        m2 = calibrate_machine()
-        assert m2 is m1  # cached
+        m2 = calibrate_machine(n_elements=100_000, repeats=1)
+        assert m2 is m1  # cached per parameter set
         reset_calibration()
+
+    def test_cache_keyed_on_parameters(self):
+        """Different measurement sizes are different calibrations — a
+        second call must re-measure, not alias the first result."""
+        reset_calibration()
+        m1 = calibrate_machine(n_elements=100_000, repeats=1)
+        m2 = calibrate_machine(n_elements=50_000, rank=8, repeats=1)
+        assert m2 is not m1
+        # both entries stay cached independently
+        assert calibrate_machine(n_elements=100_000, repeats=1) is m1
+        assert calibrate_machine(n_elements=50_000, rank=8, repeats=1) is m2
+        reset_calibration()
+        assert calibrate_machine(n_elements=100_000, repeats=1) is not m1
 
     def test_force_recalibrates(self):
         m1 = calibrate_machine(n_elements=100_000, repeats=1)

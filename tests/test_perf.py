@@ -51,6 +51,53 @@ class TestCounters:
             record(mttkrps=2)
         assert mine.mttkrps == 2
 
+    def test_snapshot_lists_every_field(self):
+        c = Counters(flops=1, words=2, contractions=3, node_builds=4,
+                     mttkrps=5, extra={"custom": 6})
+        snap = c.snapshot()
+        assert snap == {"flops": 1, "words": 2, "contractions": 3,
+                        "node_builds": 4, "mttkrps": 5, "custom": 6}
+
+    def test_add_merges_overlapping_extra(self):
+        a = Counters(extra={"shared": 1, "only_a": 2})
+        b = Counters(extra={"shared": 10, "only_b": 3})
+        a.add(b)
+        assert a.extra == {"shared": 11, "only_a": 2, "only_b": 3}
+        # the source is unchanged by the merge
+        assert b.extra == {"shared": 10, "only_b": 3}
+
+    def test_add_covers_every_field(self):
+        a = Counters(flops=1, words=1, contractions=1, node_builds=1,
+                     mttkrps=1)
+        a.add(Counters(flops=10, words=20, contractions=30, node_builds=40,
+                       mttkrps=50))
+        assert a.snapshot() == {"flops": 11, "words": 21, "contractions": 31,
+                                "node_builds": 41, "mttkrps": 51}
+
+    def test_reset_clears_every_field(self):
+        c = Counters(flops=1, words=2, contractions=3, node_builds=4,
+                     mttkrps=5, extra={"custom": 6})
+        c.reset()
+        assert c.snapshot() == {"flops": 0, "words": 0, "contractions": 0,
+                                "node_builds": 0, "mttkrps": 0}
+        assert c.extra == {}
+
+    def test_nested_contexts_isolate_extra(self):
+        with counting() as outer:
+            record(custom=1)
+            with counting() as inner:
+                record(custom=10, flops=2)
+        assert inner.extra == {"custom": 10} and inner.flops == 2
+        assert outer.extra == {"custom": 1} and outer.flops == 0
+
+    def test_record_unknown_field_lands_in_extra(self):
+        with counting() as c:
+            record(gathers=4)
+            record(gathers=5, flops=1)
+        assert c.extra["gathers"] == 9
+        assert c.flops == 1
+        assert "gathers" in repr(c)
+
 
 class TestTimer:
     def test_accumulates_laps(self):

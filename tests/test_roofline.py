@@ -1,0 +1,330 @@
+"""Tests for roofline calibration (repro.model.calibrate) and the
+achieved-throughput attribution layer (repro.obs.roofline)."""
+
+import json
+import os
+
+import pytest
+
+from repro.model.calibrate import (calibrate_roofline, default_machine_path,
+                                   load_roofline, machine_artifact,
+                                   measure_roofline, reset_calibration,
+                                   validate_machine_artifact)
+from repro.model.cost import (DEFAULT_EXECUTION, ExecutionParams,
+                              FALLBACK_BANDWIDTH_WORKERS, coo_mode_work,
+                              iteration_io_lower_bound_bytes,
+                              resolve_bandwidth_workers)
+from repro.obs.roofline import (ConfigThroughput, publish_roofline_gauges,
+                                report_from_trace_dir, report_line,
+                                roofline_report, throughput_from_attribution,
+                                throughput_from_spans, tree_node_terms)
+from repro.obs.trace import SpanRecord
+
+QUICK = dict(n_elements=50_000, repeats=1, matmul_n=64, max_threads=2)
+
+
+@pytest.fixture
+def machine_path(tmp_path, monkeypatch):
+    """Isolate every test from the user's cached calibration artifact."""
+    path = str(tmp_path / "machine.json")
+    monkeypatch.setenv("REPRO_MACHINE", path)
+    reset_calibration()
+    yield path
+    reset_calibration()
+
+
+@pytest.fixture(scope="module")
+def quick_roofline():
+    return measure_roofline(quick=True, **QUICK)
+
+
+class TestMeasureRoofline:
+    def test_structure(self, quick_roofline):
+        r = quick_roofline
+        threads = [p.threads for p in r.bandwidth_points]
+        assert threads[0] == 1 and threads == sorted(set(threads))
+        assert all(p.triad_gbs > 0 and p.gather_gbs > 0
+                   for p in r.bandwidth_points)
+        assert r.peak_bandwidth_gbs > 0 and r.peak_gflops > 0
+        assert r.saturation_workers in threads
+        assert r.quick
+
+    def test_round_trip(self, quick_roofline):
+        again = type(quick_roofline).from_dict(quick_roofline.to_dict())
+        assert again.to_dict() == quick_roofline.to_dict()
+
+    def test_summary_renders(self, quick_roofline):
+        text = quick_roofline.summary()
+        assert "saturates" in text and "GB/s" in text
+
+
+class TestMachineArtifact:
+    def test_calibrate_writes_and_validates(self, machine_path):
+        r = calibrate_roofline(quick=True)
+        assert os.path.exists(machine_path)
+        with open(machine_path) as fh:
+            validate_machine_artifact(json.load(fh))
+        assert default_machine_path() == machine_path
+        # load-only path reads the same ceilings back
+        loaded = load_roofline()
+        assert loaded is not None
+        assert loaded.to_dict() == r.to_dict()
+
+    def test_second_call_loads_without_measuring(self, machine_path):
+        r1 = calibrate_roofline(quick=True)
+        r2 = calibrate_roofline(quick=True)
+        assert r2 is r1  # in-process memo
+        reset_calibration()
+        r3 = calibrate_roofline(quick=True)  # disk hit, no re-measure
+        assert r3.to_dict() == r1.to_dict()
+
+    def test_load_missing_or_corrupt_is_none(self, machine_path):
+        assert load_roofline() is None
+        with open(machine_path, "w") as fh:
+            fh.write("{not json")
+        assert load_roofline() is None
+
+    def test_validator_rejects_structural_damage(self, quick_roofline):
+        good = machine_artifact(quick_roofline)
+        validate_machine_artifact(good)
+        bad = json.loads(json.dumps(good))
+        bad["result"]["schema"] = "repro-machine/v0"
+        with pytest.raises(ValueError):
+            validate_machine_artifact(bad)
+        bad = json.loads(json.dumps(good))
+        bad["result"]["roofline"]["bandwidth_points"].reverse()
+        if len(bad["result"]["roofline"]["bandwidth_points"]) > 1:
+            with pytest.raises(ValueError):
+                validate_machine_artifact(bad)
+        bad = json.loads(json.dumps(good))
+        bad["result"]["roofline"]["saturation_workers"] = 99
+        with pytest.raises(ValueError):
+            validate_machine_artifact(bad)
+        bad = json.loads(json.dumps(good))
+        bad["result"]["roofline"]["peak_bandwidth_gbs"] = 0.0
+        with pytest.raises(ValueError):
+            validate_machine_artifact(bad)
+
+
+class TestBandwidthWorkers:
+    def test_explicit_wins(self, machine_path):
+        calibrate_roofline(quick=True)
+        value, source = resolve_bandwidth_workers(
+            ExecutionParams(bandwidth_workers=3)
+        )
+        assert (value, source) == (3, "explicit")
+
+    def test_default_without_artifact(self, machine_path):
+        value, source = resolve_bandwidth_workers(DEFAULT_EXECUTION)
+        assert (value, source) == (FALLBACK_BANDWIDTH_WORKERS, "default")
+
+    def test_calibrated_saturation_point(self, machine_path):
+        r = calibrate_roofline(quick=True)
+        value, source = resolve_bandwidth_workers(DEFAULT_EXECUTION)
+        assert source == "calibrated"
+        assert value == r.saturation_workers
+
+
+class TestCooModeWork:
+    SHAPE = (30, 40, 50)
+
+    def test_alto_trades_index_words_for_decode_flops(self):
+        f_np, w_np = coo_mode_work(self.SHAPE, 1000, 8, 0, "numpy")
+        f_alto, w_alto = coo_mode_work(self.SHAPE, 1000, 8, 0, "alto")
+        assert f_alto > f_np      # decode flops
+        assert w_alto < w_np      # one packed word vs ndim index words
+
+    def test_io_lower_bound_below_model_traffic(self):
+        words = sum(
+            coo_mode_work(self.SHAPE, 1000, 8, m, "numpy")[1]
+            for m in range(len(self.SHAPE))
+        )
+        lower = iteration_io_lower_bound_bytes(self.SHAPE, 1000, 8)
+        assert 0 < lower < words * 8
+
+
+def _span(kind, seconds, **attrs):
+    return SpanRecord(id=1, parent=None, kind=kind, t0=0.0, tid=0,
+                      attrs=attrs, t1=seconds)
+
+
+class TestThroughputJoins:
+    def test_tree_join_prices_node_rebuilds(self):
+        node_terms = {7: {"flops": 4000.0, "words": 1000.0}}
+        configs = throughput_from_spans(
+            [_span("node_rebuild", 0.001, node=7)] * 2,
+            node_terms=node_terms,
+        )
+        (c,) = configs
+        assert c.config == "thread/tree"
+        assert c.spans == 2
+        assert c.flops == 8000.0
+        assert c.bytes_moved == 2 * 1000.0 * 8
+        assert c.gflops == pytest.approx(8000.0 / 0.002 / 1e9)
+
+    def test_kernel_joins_by_backend(self):
+        spans = [
+            _span("kernel", 0.001, backend="process-alto", mode=0, nnz=500),
+            _span("kernel", 0.001, backend="process-numpy", mode=0, nnz=500),
+            _span("kernel", 0.001, backend="alto-coo", mode=1, nnz=1000),
+            _span("kernel", 0.001, backend="parallel-coo", mode=1, nnz=1000),
+            _span("kernel", 0.001, backend="mystery", mode=1, nnz=1000),
+        ]
+        configs = throughput_from_spans(spans, shape=(30, 40, 50), rank=8)
+        names = {c.config for c in configs}
+        assert names == {"process/alto", "process/numpy",
+                         "thread/alto-coo", "thread/parallel-coo"}
+
+    def test_join_inputs_missing_skips(self):
+        spans = [_span("kernel", 0.001, backend="process-alto",
+                       mode=0, nnz=500)]
+        assert throughput_from_spans(spans) == []       # no shape/rank
+        assert throughput_from_spans(
+            [_span("node_rebuild", 0.001, node=3)]
+        ) == []                                          # no node terms
+
+    def test_attribution_join(self):
+        doc = {"strategy": "bdt", "modes": [
+            {"mode": 0, "seconds": 0.5, "measured_flops": 1e9,
+             "measured_words": 1e8},
+            {"mode": 1, "seconds": 0.5, "measured_flops": 1e9,
+             "measured_words": 1e8},
+        ]}
+        c = throughput_from_attribution(doc)
+        assert c.config == "attr/bdt"
+        assert c.gflops == pytest.approx(2.0)
+        assert c.gbs == pytest.approx(2e8 * 8 / 1e9)
+        assert throughput_from_attribution({"modes": []}) is None
+
+    def test_tree_node_terms_excludes_scatter_and_root(self):
+        from repro.core.strategy import balanced_binary
+        from repro.core.symbolic import SymbolicTree
+        from repro.synth.skewed import skewed_random_tensor
+
+        t = skewed_random_tensor((20, 20, 20, 20), 500, 1.0, random_state=0)
+        strategy = balanced_binary(4)
+        terms = tree_node_terms(
+            strategy, SymbolicTree(t, strategy).node_nnz(), 8
+        )
+        assert terms and all(v["words"] >= 0 for v in terms.values())
+
+
+class TestRooflineReport:
+    def test_uncalibrated_degrades_gracefully(self, machine_path):
+        c = ConfigThroughput(config="thread/tree", spans=1, seconds=0.1,
+                             flops=1e8, bytes_moved=1e8, source="spans+model")
+        report = roofline_report([c])
+        assert not report.calibrated
+        assert c.bandwidth_fraction is None
+        assert any("uncalibrated" in n for n in report.notes)
+        assert "uncalibrated" in report_line(report)
+        assert report.guidance() == []
+        assert "thread/tree" in report.summary()
+
+    def test_calibrated_fractions_and_guidance(self, quick_roofline):
+        fast = ConfigThroughput(
+            config="thread/tree", spans=1, seconds=1.0, flops=1e6,
+            bytes_moved=0.8 * quick_roofline.peak_bandwidth_gbs * 1e9,
+            source="spans+model",
+        )
+        slow = ConfigThroughput(
+            config="process/alto", spans=1, seconds=1.0, flops=1e6,
+            bytes_moved=0.1 * quick_roofline.peak_bandwidth_gbs * 1e9,
+            source="spans+model",
+        )
+        report = roofline_report([fast, slow], quick_roofline, load=False)
+        assert fast.bandwidth_fraction == pytest.approx(0.8)
+        assert report.best() is fast
+        saturated = [g for g in report.guidance() if "cannot help" in g]
+        assert saturated and "thread/tree" in saturated[0]
+        assert "80%" in report_line(report)
+        doc = report.to_dict()
+        assert doc["schema"] == "repro-roofline/v1"
+        assert doc["calibrated"] and len(doc["configs"]) == 2
+
+    def test_trace_dir_missing_artifacts(self, tmp_path, machine_path):
+        report = report_from_trace_dir(str(tmp_path))
+        assert not report.calibrated
+        assert any("no trace.jsonl" in n for n in report.notes)
+        assert "uncalibrated" in report_line(report)
+
+    def test_trace_dir_prefers_snapshotted_machine(self, tmp_path,
+                                                   quick_roofline,
+                                                   machine_path):
+        with open(tmp_path / "machine.json", "w") as fh:
+            json.dump(machine_artifact(quick_roofline), fh)
+        report = report_from_trace_dir(str(tmp_path))
+        assert report.calibrated
+        assert (report.roofline.peak_bandwidth_gbs
+                == quick_roofline.peak_bandwidth_gbs)
+
+    def test_gauges_render_as_openmetrics(self, quick_roofline):
+        from repro.obs.metrics import registry
+        from repro.obs.serve import render_openmetrics, validate_openmetrics
+
+        c = ConfigThroughput(config="thread/alto-coo", spans=1, seconds=0.1,
+                             flops=1e8, bytes_moved=1e8, source="spans+model")
+        roofline_report([c], quick_roofline, load=False)
+        publish_roofline_gauges(quick_roofline, [c])
+        try:
+            text = render_openmetrics()
+            assert "repro_roofline_peak_bandwidth_gbs" in text
+            assert "repro_roofline_saturation_workers" in text
+            assert "repro_roofline_fraction_thread_alto_coo" in text
+            assert validate_openmetrics(text) == []
+        finally:
+            registry.reset()
+
+
+class TestPlanRooflineSection:
+    @pytest.fixture(scope="class")
+    def tensor(self):
+        from repro.synth.skewed import skewed_random_tensor
+
+        return skewed_random_tensor((40, 50, 30, 20), 3000, 1.1,
+                                    random_state=0)
+
+    def test_uncalibrated_execution_section(self, machine_path, tensor):
+        from repro.obs.explain import explain_plan, validate_plan_artifact
+
+        expl = explain_plan(tensor, rank=8, n_workers=2)
+        validate_plan_artifact(expl.to_artifact())
+        ex = expl.to_dict()["execution"]
+        assert ex["bandwidth_workers"] == FALLBACK_BANDWIDTH_WORKERS
+        assert ex["bandwidth_workers_source"] == "default"
+        assert ex["roofline"] == {"calibrated": False}
+        assert "uncalibrated" in expl.summary()
+
+    def test_calibrated_execution_section(self, machine_path, tensor):
+        from repro.obs.explain import explain_plan, validate_plan_artifact
+
+        r = calibrate_roofline(quick=True)
+        expl = explain_plan(tensor, rank=8, n_workers=2)
+        validate_plan_artifact(expl.to_artifact())
+        ex = expl.to_dict()["execution"]
+        assert ex["bandwidth_workers_source"] == "calibrated"
+        assert ex["bandwidth_workers"] == r.saturation_workers
+        assert ex["roofline"]["calibrated"]
+        summary = expl.summary()
+        assert "roofline" in summary and "ceiling" in summary
+        assert "of the bandwidth roofline" in summary
+
+
+class TestRooflineCli:
+    def test_quick_json(self, machine_path, capsys):
+        from repro.cli import main
+
+        assert main(["roofline", "--quick", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-roofline/v1"
+        assert doc["calibrated"]
+        assert os.path.exists(machine_path)
+
+    def test_trace_dir_report(self, machine_path, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["roofline", "--quick"]) == 0
+        capsys.readouterr()
+        assert main(["roofline", "--trace-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "machine artifact" in out
