@@ -7,6 +7,15 @@ three configurations:
 
 * ``disabled`` — tracing off, the shipped default (guards short-circuit);
 * ``enabled``  — spans recorded for every iteration/MTTKRP/rebuild/kernel;
+* ``enabled_profile`` — spans plus the sampling stack profiler
+  (:mod:`repro.obs.profiler`) at its default 97 Hz: one
+  ``sys._current_frames`` sweep per period joined to the live span
+  path, i.e. what ``repro profile`` turns on.  Its budget is asserted
+  against an *interleaved* sampler-off baseline measured in the same
+  window — median of paired on/off iteration ratios
+  (``profile.ab_overhead_pct``) — which cancels the clock drift and
+  per-iteration noise of shared hosts that the sequential rows above
+  inherit;
 * ``enabled_watchdog`` — spans plus per-iteration counter collection and
   the model-drift comparison;
 * ``enabled_memtrack`` — spans plus the memoized-value memory tracker
@@ -41,9 +50,11 @@ to ``benchmarks/history/history.jsonl`` for ``repro bench-diff``::
 
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 
-The acceptance bar: enabled overhead < 3%, memory tracking and cost
-attribution < 2% each on top, disabled within timer noise of an
-uninstrumented build (the guard is one module-bool check per call site).
+The acceptance bar: enabled overhead < 3%, memory tracking, cost
+attribution, and the sampling profiler (at default hz) < 2% each on
+top, disabled within timer noise of an uninstrumented build (the guard
+is one module-bool check per call site — profiler off means one ``None``
+check in the span hooks).
 """
 
 import json
@@ -132,6 +143,41 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
     obs_trace.enable(clear=True)
     enabled = _best_iteration_seconds(engine, repeats)
 
+    from repro.obs import profiler as obs_profiler
+
+    # Sampling profiler, measured as an interleaved A/B: alternate
+    # sampler-off / sampler-on iterations inside one window so the
+    # minutes-scale clock drift of shared hosts cancels out of the
+    # comparison instead of landing on whichever config ran last (the
+    # shared ``disabled`` baseline above is minutes stale by now).
+    obs_trace.get_tracer().clear()
+    _als_iteration(engine)  # warm
+    obs_profiler.enable(clear=True)  # default 97 Hz; warm sampler path
+    _als_iteration(engine)
+    obs_profiler.disable()
+    profile_base = float("inf")
+    with_profile = float("inf")
+    profile_ratios = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _als_iteration(engine)
+        off = time.perf_counter() - t0
+        obs_profiler.enable()
+        t0 = time.perf_counter()
+        _als_iteration(engine)
+        on = time.perf_counter() - t0
+        obs_profiler.disable()
+        profile_base = min(profile_base, off)
+        with_profile = min(with_profile, on)
+        profile_ratios.append(on / off)
+    profile_samples = obs_profiler.get_store().n_samples
+    profile_hz = obs_profiler.get_store().hz
+    # Median of the paired ratios: per-iteration noise on shared hosts
+    # runs +-15%, which a best-of ratio amplifies (the two minima land
+    # on different noise excursions) while the paired median averages
+    # away.
+    profile_ab_pct = (float(np.median(profile_ratios)) - 1.0) * 100.0
+
     obs_trace.get_tracer().clear()
     registry.reset()
     watchdog = DriftWatchdog(
@@ -152,6 +198,16 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
     mem_events = tracker.n_stores + tracker.n_frees
     obs_memory.disable()
     tracker.reset()
+
+    # Re-measure the disabled baseline mid-run: on drifting shared hosts
+    # the start-of-run baseline is minutes stale by the time the later
+    # configs measure, and a 2% budget is not resolvable against it.
+    # The attribution/roofline budgets below assert against this
+    # adjacent re-measurement; both baselines are reported so the drift
+    # itself is visible in the artifact.
+    obs_trace.disable()
+    disabled_recheck = _best_iteration_seconds(engine, repeats)
+    obs_trace.enable(clear=True)
 
     obs_trace.get_tracer().clear()
     obs_attr.enable(clear=True)
@@ -260,6 +316,10 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
                          "overhead_pct": 0.0},
             "enabled": {"seconds_per_iteration": enabled,
                         "overhead_pct": pct(enabled)},
+            "enabled_profile": {
+                "seconds_per_iteration": with_profile,
+                "overhead_pct": pct(with_profile),
+            },
             "enabled_watchdog": {
                 "seconds_per_iteration": with_watchdog,
                 "overhead_pct": pct(with_watchdog),
@@ -267,6 +327,10 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
             "enabled_memtrack": {
                 "seconds_per_iteration": with_memtrack,
                 "overhead_pct": pct(with_memtrack),
+            },
+            "disabled_recheck": {
+                "seconds_per_iteration": disabled_recheck,
+                "overhead_pct": pct(disabled_recheck),
             },
             "enabled_attribution": {
                 "seconds_per_iteration": with_attribution,
@@ -299,6 +363,9 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
         "attribution": {"readings": attr_readings,
                         "max_node_flop_err": attr_worst_err},
         "roofline": {"configs": roofline_configs},
+        "profile": {"samples": profile_samples, "hz": profile_hz,
+                    "ab_baseline_seconds": profile_base,
+                    "ab_overhead_pct": profile_ab_pct},
         "events_logged": n_events,
     }
 
@@ -327,18 +394,31 @@ def main() -> None:
         fh.write("\n".join(lines) + "\n")
     print("\n".join(lines))
     print(f"wrote {base}.json")
+    recheck = report["runs"]["disabled_recheck"]["seconds_per_iteration"]
     attr = report["runs"]["enabled_attribution"]
-    assert attr["overhead_pct"] < 2.0, (
-        f"attribution overhead {attr['overhead_pct']:.2f}% exceeds the "
-        f"2% budget"
+    attr_cost = (attr["seconds_per_iteration"] / recheck - 1.0) * 100.0
+    assert attr_cost < 2.0, (
+        f"attribution overhead {attr_cost:.2f}% (vs the adjacent "
+        f"re-measured baseline) exceeds the 2% budget"
     )
     assert report["attribution"]["max_node_flop_err"] == 0.0, (
         "attributed per-node flops diverged from the model on numpy"
     )
+    profile_ab = report["profile"]["ab_overhead_pct"]
+    assert profile_ab < 2.0, (
+        f"sampling profiler costs {profile_ab:.2f}% over the interleaved "
+        f"tracing baseline at {report['profile']['hz']:g} Hz, exceeding "
+        f"the 2% budget"
+    )
+    assert report["profile"]["samples"] > 0, (
+        "profiler collected no samples across the profiled iterations"
+    )
     roofline = report["runs"]["enabled_roofline"]
-    assert roofline["overhead_pct"] < 2.0, (
-        f"roofline attribution pass costs {roofline['overhead_pct']:.2f}%, "
-        f"exceeding the 2% budget"
+    roofline_cost = (roofline["seconds_per_iteration"] / recheck
+                     - 1.0) * 100.0
+    assert roofline_cost < 2.0, (
+        f"roofline attribution pass costs {roofline_cost:.2f}% (vs the "
+        f"adjacent re-measured baseline), exceeding the 2% budget"
     )
     assert report["roofline"]["configs"] >= 1, (
         "roofline pass attributed no kernel configs on a traced run"

@@ -8,6 +8,7 @@ Usage::
     python -m repro info delicious --scale 0.2
     python -m repro datasets
     python -m repro trace --trace-dir out/ decompose data.tns --rank 16
+    python -m repro profile --trace-dir out/ decompose data.tns --rank 16
     python -m repro report out/trace.jsonl
     python -m repro serve --port 9464 decompose data.tns --rank 16
     python -m repro tail out/events.jsonl
@@ -21,8 +22,13 @@ tracer, memory tracker, and metrics registry enabled and writes
 ``trace.chrome.json`` (Chrome ``trace_event`` format — load in
 ``chrome://tracing`` or Perfetto, with a live-bytes counter track),
 ``trace.jsonl``, ``memory.json``, ``metrics.json``, and a text summary;
-``repro report`` pretty-prints a saved JSONL trace (including per-worker
-pool utilization when the trace has ``pool_task`` spans).  ``repro
+``repro profile <command>`` (or ``repro trace --profile``) additionally
+runs the sampling stack profiler and writes ``profile.json`` +
+``profile.folded`` (span-joined flamegraph data; see
+``docs/observability.md``).  ``repro report`` pretty-prints a saved
+JSONL trace (including per-worker pool utilization when the trace has
+``pool_task`` spans, and the profiler's top-hotspots table when one was
+recorded).  ``repro
 serve`` exposes an OpenMetrics endpoint (``/metrics`` + ``/healthz`` +
 ``/runz``) either around a wrapped subcommand or over saved trace
 artifacts; ``repro tail`` renders an ``events.jsonl`` structured event
@@ -322,6 +328,7 @@ def cmd_trace(args) -> int:
     from .obs import attribution as obs_attr
     from .obs import events as obs_events
     from .obs import memory as obs_memory
+    from .obs import profiler as obs_profiler
     from .obs import runctx as obs_runctx
     from .obs import trace as obs_trace
     from .obs.buildinfo import build_info
@@ -330,17 +337,18 @@ def cmd_trace(args) -> int:
     from .obs.metrics import registry
     from .perf import counters as perf_counters
 
+    verb = getattr(args, "verb", "trace")
     rest = list(args.rest)
     if rest and rest[0] == "--":
         rest.pop(0)
     if not rest:
         raise ValueError(
-            "trace: missing command to run, e.g. "
-            "'repro trace decompose data.tns --rank 16'"
+            f"{verb}: missing command to run, e.g. "
+            f"'repro {verb} decompose data.tns --rank 16'"
         )
-    if rest[0] in ("trace", "report", "bench-diff", "dashboard", "serve",
-                   "tail"):
-        raise ValueError(f"trace: cannot trace the {rest[0]!r} command")
+    if rest[0] in ("trace", "profile", "report", "bench-diff", "dashboard",
+                   "serve", "tail"):
+        raise ValueError(f"{verb}: cannot {verb} the {rest[0]!r} command")
     inner = build_parser().parse_args(rest)
     os.makedirs(args.trace_dir, exist_ok=True)
 
@@ -348,10 +356,14 @@ def cmd_trace(args) -> int:
     mem_was_enabled = obs_memory.enabled()
     events_were_enabled = obs_events.enabled()
     attr_was_enabled = obs_attr.enabled()
+    prof_was_enabled = obs_profiler.enabled()
+    profile_on = bool(getattr(args, "profile", False)) or prof_was_enabled
     obs_trace.enable(clear=True)
     obs_memory.enable(clear=True, sample_tracemalloc=True)
     obs_events.enable(clear=not events_were_enabled)
     obs_attr.enable(clear=True)
+    if profile_on:
+        obs_profiler.enable(getattr(args, "profile_hz", None), clear=True)
     registry.reset()
     # An ambient run context: telemetry still lands in the globals the
     # artifact writers below read, but events carry the run_id and the
@@ -371,6 +383,8 @@ def cmd_trace(args) -> int:
             obs_events.disable()
         if not attr_was_enabled:
             obs_attr.disable()
+        if profile_on and not prof_was_enabled:
+            obs_profiler.disable()
     elapsed = time.perf_counter() - t0
 
     spans = obs_trace.get_tracer().finished()
@@ -415,6 +429,18 @@ def cmd_trace(args) -> int:
         with open(os.path.join(args.trace_dir, "machine.json"), "w") as fh:
             _json.dump(machine_artifact(roofline), fh, indent=2)
             fh.write("\n")
+    profile_path = None
+    profile_doc = None
+    if profile_on:
+        snapshot = obs_profiler.get_store().snapshot()
+        profile_doc = obs_profiler.profile_artifact(
+            snapshot, run_id=run_ctx.run_id, command=rest[0],
+            duration_seconds=elapsed,
+        )
+        profile_path, _folded = obs_profiler.write_profile(
+            args.trace_dir, snapshot, run_id=run_ctx.run_id,
+            command=rest[0], duration_seconds=elapsed,
+        )
 
     print(f"\n-- traced {len(spans)} spans in {elapsed:.2f}s "
           f"({run_ctx.run_id})")
@@ -424,15 +450,33 @@ def cmd_trace(args) -> int:
         print(f"\nmemory: peak memoized values {mem.peak_bytes:,} B "
               f"(predicted {last.predicted_peak_bytes:,} B, "
               f"{len(mem.readings)} iteration readings)")
+    if profile_doc is not None:
+        print(f"\nprofile: {profile_doc['n_samples']} samples @ "
+              f"{profile_doc['hz']:g} Hz "
+              f"({profile_doc['sampled_seconds']:.2f}s sampled, lanes: "
+              f"{', '.join(profile_doc['lanes']) or 'none'})")
+        hot = obs_profiler.format_hotspots(profile_doc, top=5)
+        if hot != "(no samples)":
+            print(hot)
     print(f"\nwrote {chrome_path} (open in chrome://tracing or "
           f"https://ui.perfetto.dev), {jsonl_path}, {memory_path}, "
           f"{metrics_path}, {events_path}"
-          + (f", {attribution_path}" if attribution_path else ""))
+          + (f", {attribution_path}" if attribution_path else "")
+          + (f", {profile_path} (+ profile.folded for flamegraph.pl/"
+             "speedscope)" if profile_path else ""))
     return rc
 
 
+def cmd_profile(args) -> int:
+    """``repro profile <cmd>``: ``repro trace`` with the sampler forced on."""
+    args.profile = True
+    args.verb = "profile"
+    return cmd_trace(args)
+
+
 def cmd_report(args) -> int:
-    from .obs.events import format_event, read_events
+    from .obs.artifacts import TraceArtifacts
+    from .obs.events import format_event
     from .obs.export import kind_table, read_jsonl, tree_summary
     from .obs.utilization import format_utilization, utilization_from_spans
 
@@ -442,6 +486,8 @@ def cmd_report(args) -> int:
     if not os.path.exists(path):
         raise FileNotFoundError(f"no trace file at {path!r} (run "
                                 "'repro trace <command>' first)")
+    trace_dir = os.path.dirname(path) or "."
+    arts = TraceArtifacts(trace_dir)
     spans = read_jsonl(path)
     print(f"{len(spans)} spans from {path}\n")
     print(kind_table(spans))
@@ -451,20 +497,15 @@ def cmd_report(args) -> int:
     if util is not None:
         print()
         print(format_utilization(util))
-    events_path = os.path.join(os.path.dirname(path) or ".", "events.jsonl")
-    if os.path.exists(events_path):
-        events = read_events(events_path)
-        print(f"\n{len(events)} events from {events_path} (last 5):")
+    events = arts.events()
+    if events is not None:
+        print(f"\n{len(events)} events from {arts.path('events')} (last 5):")
         for event in events[-5:]:
             print("  " + format_event(event))
-    metrics_path = os.path.join(os.path.dirname(path) or ".", "metrics.json")
-    if os.path.exists(metrics_path):
-        import json as _json
-
-        with open(metrics_path) as fh:
-            snap = _json.load(fh)
-        counters = snap.get("metrics", {}).get("counters", {})
-        gauges = snap.get("metrics", {}).get("gauges", {})
+    metrics_doc = arts.metrics()
+    if metrics_doc is not None:
+        counters = metrics_doc.get("metrics", {}).get("counters", {})
+        gauges = metrics_doc.get("metrics", {}).get("gauges", {})
         if counters:
             print("\ncounters: " + ", ".join(
                 f"{k}={v:,}" for k, v in counters.items()
@@ -475,16 +516,11 @@ def cmd_report(args) -> int:
             ))
     from .obs.attribution import attribution_from_spans, format_attribution
 
-    attr_path = os.path.join(os.path.dirname(path) or ".",
-                             "attribution.json")
-    if os.path.exists(attr_path):
-        import json as _json
-
-        with open(attr_path) as fh:
-            doc = _json.load(fh)
+    doc = arts.attribution()
+    if doc is not None:
         rendered = format_attribution(doc)
         if rendered:
-            print(f"\ncost attribution from {attr_path}:")
+            print(f"\ncost attribution from {arts.path('attribution')}:")
             print(rendered)
     else:
         # No recorder artifact: reconstruct the time attribution the
@@ -500,7 +536,22 @@ def cmd_report(args) -> int:
     from .obs.roofline import report_from_trace_dir, report_line
 
     print()
-    print(report_line(report_from_trace_dir(os.path.dirname(path) or ".")))
+    print(report_line(report_from_trace_dir(trace_dir)))
+    # Top hotspots from the sampling profiler, when the run recorded one;
+    # pre-profiler trace dirs degrade to an explicit note, not an error.
+    from .obs.profiler import format_hotspots
+
+    profile_doc = arts.profile()
+    if profile_doc is not None:
+        print(f"\nsampling profile: {profile_doc.get('n_samples', 0)} "
+              f"samples @ {profile_doc.get('hz', 0):g} Hz — top hotspots:")
+        print(format_hotspots(profile_doc))
+    else:
+        print("\nno profile captured (run 'repro profile <cmd>' or "
+              "'repro trace --profile' to record one)")
+    for filename, reason in arts.skipped:
+        print(f"warning: skipped malformed {filename}: {reason}",
+              file=sys.stderr)
     return 0
 
 
@@ -572,7 +623,7 @@ def cmd_serve(args) -> int:
     rest = list(args.rest)
     if rest and rest[0] == "--":
         rest.pop(0)
-    if rest and rest[0] in ("trace", "serve", "tail", "report",
+    if rest and rest[0] in ("trace", "profile", "serve", "tail", "report",
                             "bench-diff", "dashboard"):
         raise ValueError(f"serve: cannot wrap the {rest[0]!r} command")
 
@@ -666,8 +717,8 @@ def cmd_tail(args) -> int:
 
 
 def cmd_dashboard(args) -> int:
-    from .obs.dashboard import load_memory_json, write_dashboard
-    from .obs.export import kind_table, read_jsonl, tree_summary
+    from .obs.dashboard import write_dashboard
+    from .obs.export import kind_table, tree_summary
     from .obs.history import BenchHistory, compare
 
     entries = BenchHistory(args.history).entries()
@@ -683,26 +734,23 @@ def cmd_dashboard(args) -> int:
     pool_tasks: list[dict] = []
     attribution_doc = None
     roofline_doc = None
+    profile_doc = None
+    skipped: list[tuple[str, str]] = []
     if args.trace_dir and os.path.isdir(args.trace_dir):
+        from .obs.artifacts import TraceArtifacts
         from .obs.roofline import report_from_trace_dir
 
         roofline_report = report_from_trace_dir(args.trace_dir)
         if roofline_report.calibrated or roofline_report.configs:
             roofline_doc = roofline_report.to_dict()
-        memory_path = os.path.join(args.trace_dir, "memory.json")
-        jsonl_path = os.path.join(args.trace_dir, "trace.jsonl")
-        attr_path = os.path.join(args.trace_dir, "attribution.json")
-        if os.path.exists(memory_path):
-            readings = load_memory_json(memory_path)
-        if os.path.exists(attr_path):
-            import json as _json
-
-            with open(attr_path) as fh:
-                attribution_doc = _json.load(fh)
-        if os.path.exists(jsonl_path):
+        arts = TraceArtifacts(args.trace_dir)
+        readings = arts.memory_readings() or []
+        attribution_doc = arts.attribution()
+        profile_doc = arts.profile()
+        spans = arts.spans()
+        if spans is not None:
             from .obs.utilization import utilization_from_spans
 
-            spans = read_jsonl(jsonl_path)
             kinds = kind_table(spans)
             summary = tree_summary(spans)
             utilization = utilization_from_spans(spans)
@@ -714,6 +762,7 @@ def cmd_dashboard(args) -> int:
                 for rec in spans
                 if rec.kind == "pool_task" and rec.t1 is not None
             ]
+        skipped = arts.skipped
 
     out = write_dashboard(
         args.out,
@@ -726,9 +775,13 @@ def cmd_dashboard(args) -> int:
         trace_summary=summary,
         attribution=attribution_doc,
         roofline=roofline_doc,
+        profile=profile_doc,
     )
     print(f"wrote {out} ({len(entries)} history entries, "
           f"{len(readings)} memory readings)")
+    for filename, reason in skipped:
+        print(f"warning: skipped malformed {filename}: {reason}",
+              file=sys.stderr)
     return 0
 
 
@@ -863,10 +916,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-dir", default="repro-trace",
                    help="directory for trace artifacts (default: "
                    "./repro-trace)")
+    p.add_argument("--profile", action="store_true",
+                   help="also run the sampling stack profiler and write "
+                   "profile.json + profile.folded")
+    p.add_argument("--profile-hz", type=float, default=None,
+                   help="sampling rate for --profile (default: 97, or "
+                   "REPRO_PROFILE_HZ)")
     p.add_argument("rest", nargs=argparse.REMAINDER,
                    help="the command to trace, e.g. 'decompose data.tns "
                    "--rank 16'")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run another subcommand under the sampling stack profiler",
+        description="'repro trace' with the wall-clock sampling profiler "
+        "forced on: runs the wrapped subcommand with every instrument "
+        "enabled, then writes the usual trace artifacts plus "
+        "profile.json (repro-profile/v1: folded stacks joined to the "
+        "span tree, per-span sampled seconds) and profile.folded "
+        "(collapsed-stack text for flamegraph.pl / speedscope).  Worker "
+        "threads appear as worker-<n> lanes; worker processes sample "
+        "themselves and merge back as pid-<pid> lanes under their "
+        "pool_task spans.",
+    )
+    p.add_argument("--trace-dir", default="repro-trace",
+                   help="directory for trace + profile artifacts "
+                   "(default: ./repro-trace)")
+    p.add_argument("--hz", type=float, default=None, dest="profile_hz",
+                   help="sampling rate (default: 97, or REPRO_PROFILE_HZ; "
+                   "raise for short runs, lower for long ones)")
+    p.add_argument("rest", nargs=argparse.REMAINDER,
+                   help="the command to profile, e.g. 'decompose data.tns "
+                   "--rank 16'")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
         "serve",

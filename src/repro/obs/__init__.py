@@ -46,6 +46,16 @@ Zero-dependency instrumentation for the engine/kernel/parallel stack:
   prediction; feeds the watchdog's node/mode blame and the
   ``attr.mode*.flops_ratio`` gauges.  Enabled via
   :func:`attribution.enable` or ``REPRO_ATTRIBUTION=1``.
+* :mod:`repro.obs.profiler` — sampling wall-clock stack profiler joined
+  to the span tree: folded ``lane → span path → frames`` stacks across
+  the thread *and* process execution tiers, persisted as a
+  ``repro-profile/v1`` artifact (``profile.json`` + ``profile.folded``
+  for flamegraph.pl / speedscope).  Enabled via :func:`profiler.enable`,
+  ``REPRO_PROFILE=1``, or ``repro profile <cmd>``.
+* :mod:`repro.obs.artifacts` — one shared loader for ``repro trace``
+  artifact directories (:class:`TraceArtifacts`): missing files are
+  absent, malformed files warn and are skipped, consistently across
+  ``report`` / ``dashboard`` / ``serve`` replay.
 
 Quickstart::
 
@@ -62,14 +72,16 @@ or, from the shell, ``repro trace decompose data.tns --rank 16``.
 
 from __future__ import annotations
 
-from . import attribution, dashboard, events, export, history, memory
-from . import runctx, serve, trace, utilization
+from . import artifacts, attribution, dashboard, events, export, history
+from . import memory, profiler, runctx, serve, trace, utilization
+from .artifacts import TraceArtifacts
 from .attribution import AttributionReading, AttributionRecorder
 from .buildinfo import build_info, git_revision, version_string
 from .events import EventLog, RunState
 from .history import BenchEntry, BenchHistory, DiffResult, compare
 from .memory import MemReading, MemTracker
 from .metrics import MetricsRegistry, metrics, registry
+from .profiler import ProfileStore, validate_profile_artifact, write_profile
 from .runctx import RunContext, RunRegistry, run_registry
 from .serve import ObsServer
 from .trace import (SpanRecord, Tracer, disable, enable, enabled,
@@ -79,6 +91,9 @@ from .utilization import UtilizationReport, utilization_from_spans
 __all__ = [
     "export", "trace", "watchdog", "memory", "history", "dashboard",
     "events", "serve", "utilization", "attribution", "explain", "runctx",
+    "profiler", "artifacts",
+    "TraceArtifacts",
+    "ProfileStore", "validate_profile_artifact", "write_profile",
     "RunContext", "RunRegistry", "run_registry",
     "AttributionReading", "AttributionRecorder",
     "PlanExplanation", "explain_plan", "validate_plan_artifact",

@@ -1,0 +1,138 @@
+"""Shared loader for ``repro trace`` artifact directories.
+
+Three consumers read trace directories — ``repro report``, ``repro
+dashboard``, and ``repro serve``'s replay mode — and before this module
+each had its own ad-hoc ``os.path.exists`` + ``json.load`` block with
+its own (inconsistent) failure behavior.  :class:`TraceArtifacts` gives
+them one policy, the same one ``repro bench-diff`` applies to history
+files: a **missing** artifact is simply absent (``None``, no noise — old
+trace dirs predate newer artifacts by design), while a **malformed** one
+is skipped with a warning naming the file and the parse error, never an
+exception.  Accessors are lazy and cached, so a consumer that only wants
+``metrics.json`` never touches the other files.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+__all__ = ["TraceArtifacts"]
+
+_log = logging.getLogger("repro.obs.artifacts")
+
+#: artifact filename per accessor (also the sniff list for ``is_empty``).
+FILENAMES = {
+    "spans": "trace.jsonl",
+    "events": "events.jsonl",
+    "metrics": "metrics.json",
+    "memory": "memory.json",
+    "attribution": "attribution.json",
+    "profile": "profile.json",
+    "machine": "machine.json",
+}
+
+_MISSING = object()
+
+
+class TraceArtifacts:
+    """Lazy, warn-don't-raise view over one trace directory.
+
+    Every accessor returns the parsed artifact or ``None`` — missing
+    files silently (a pre-profiler trace dir is a valid trace dir),
+    malformed files with a logged warning and an entry in
+    :attr:`skipped` so callers can surface what was dropped.
+    """
+
+    def __init__(self, trace_dir: str):
+        self.trace_dir = trace_dir
+        #: (filename, reason) for every artifact skipped as malformed.
+        self.skipped: list[tuple[str, str]] = []
+        self._cache: dict[str, object] = {}
+
+    # -- plumbing ------------------------------------------------------
+    def path(self, name: str) -> str:
+        return os.path.join(self.trace_dir, FILENAMES[name])
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self.path(name))
+
+    @property
+    def is_empty(self) -> bool:
+        """True when none of the known artifacts exist."""
+        return not any(self.exists(name) for name in FILENAMES)
+
+    def _skip(self, name: str, exc: Exception):
+        self.skipped.append((FILENAMES[name], str(exc)))
+        _log.warning("skipping malformed %s in %s: %s",
+                     FILENAMES[name], self.trace_dir, exc)
+        return None
+
+    def _load(self, name: str, loader):
+        value = self._cache.get(name, _MISSING)
+        if value is _MISSING:
+            if not self.exists(name):
+                value = None
+            else:
+                try:
+                    value = loader(self.path(name))
+                except (OSError, ValueError, KeyError, TypeError) as exc:
+                    value = self._skip(name, exc)
+            self._cache[name] = value
+        return value
+
+    @staticmethod
+    def _load_json(path: str):
+        with open(path) as fh:
+            return json.load(fh)
+
+    # -- accessors -----------------------------------------------------
+    def spans(self):
+        """``trace.jsonl`` as :class:`~repro.obs.trace.SpanRecord` list."""
+        from .export import read_jsonl
+
+        return self._load("spans", read_jsonl)
+
+    def events(self) -> list[dict] | None:
+        """``events.jsonl`` as raw event dicts."""
+        from .events import read_events
+
+        return self._load("events", read_events)
+
+    def metrics(self) -> dict | None:
+        """The full ``metrics.json`` document (build + metrics snapshot)."""
+        return self._load("metrics", self._load_json)
+
+    def memory_readings(self) -> list[dict] | None:
+        """The readings list from ``memory.json``."""
+        from .dashboard import load_memory_json
+
+        return self._load("memory", load_memory_json)
+
+    def attribution(self) -> dict | None:
+        """The ``repro-attr/v1`` document, if the run recorded one."""
+        return self._load("attribution", self._load_json)
+
+    def profile(self) -> dict | None:
+        """The ``repro-profile/v1`` document, if the run was profiled.
+
+        A present-but-invalid profile (wrong schema tag) is treated as
+        malformed: skipped with a warning, like any other parse failure.
+        """
+        doc = self._load("profile", self._load_json)
+        if doc is not None:
+            from .profiler import PROFILE_SCHEMA
+
+            schema = doc.get("schema") if isinstance(doc, dict) else None
+            if schema != PROFILE_SCHEMA:
+                self._cache["profile"] = None
+                return self._skip(
+                    "profile",
+                    ValueError(f"schema {schema!r} != {PROFILE_SCHEMA!r}"),
+                )
+        return doc
+
+    def machine(self) -> dict | None:
+        """The ``repro-machine/v1`` calibration snapshot."""
+        return self._load("machine", self._load_json)

@@ -22,6 +22,11 @@ file a reviewer can open without a server, a JS bundle, or network access:
   GB/s vs threads from the ``repro-machine/v1`` artifact) and each kernel
   config's achieved throughput as a horizontal bar against the ceiling,
   from a ``repro-roofline/v1`` report dict;
+* **sampling-profiler panel** — an icicle chart (root at top, width
+  proportional to sample count) over the folded ``lane → span path →
+  frames`` stacks of a ``repro-profile/v1`` document, plus the top
+  hotspots table; trace dirs recorded before the profiler existed get an
+  explicit "no profile captured" note instead of a broken section;
 * **trace summaries** — the per-kind aggregate table and span tree of a
   saved JSONL trace.
 
@@ -582,6 +587,115 @@ def _roofline_section(doc: dict) -> str:
     return "".join(parts)
 
 
+def _profile_icicle(doc: dict, *, width: int = 640, row_h: int = 18,
+                    max_depth: int = 14) -> str:
+    """Icicle chart over folded profiler stacks (root row at the top).
+
+    Each folded entry contributes its count along the path ``lane →
+    span:<kind>... → frames...``; rectangle width is proportional to the
+    sample count, rows are depth, colors alternate between the two
+    series colors per depth.  Sub-pixel rectangles are dropped (their
+    width still offsets siblings, so proportions stay honest).
+    """
+    folded = doc.get("folded") or []
+    total = sum(int(e.get("count", 0)) for e in folded)
+    if not total:
+        return ""
+    root: dict = {}
+    for e in folded:
+        path = ([str(e.get("lane", "?"))]
+                + [f"span:{s}" for s in e.get("spans", [])]
+                + [str(f) for f in e.get("frames", [])])[:max_depth]
+        node = root
+        for seg in path:
+            slot = node.setdefault(seg, [0, {}])
+            slot[0] += int(e.get("count", 0))
+            node = slot[1]
+    scale = (width - 2) / total
+    parts: list[str] = []
+    deepest = [1]
+
+    def emit(node: dict, depth: int, x0: float) -> None:
+        if depth >= max_depth:
+            return
+        x = x0
+        for name, (count, children) in sorted(
+                node.items(), key=lambda kv: (-kv[1][0], kv[0])):
+            w = count * scale
+            if w < 0.8:
+                x += w
+                continue
+            deepest[0] = max(deepest[0], depth + 1)
+            color = (_SERIES_1, _SERIES_2)[depth % 2]
+            pct = 100.0 * count / total
+            title = html.escape(f"{name}: {count} samples ({pct:.1f}%)")
+            y = depth * row_h
+            parts.append(
+                f'<rect x="{x + 1:.1f}" y="{y + 1}" '
+                f'width="{max(w - 1.0, 0.8):.1f}" height="{row_h - 2}" '
+                f'rx="2" fill="{color}" '
+                f'fill-opacity="{"0.9" if depth % 2 == 0 else "0.75"}">'
+                f"<title>{title}</title></rect>"
+            )
+            if w > 60:
+                room = max(int(w / 7) - 1, 1)
+                label = name if len(name) <= room else name[:room] + "…"
+                parts.append(
+                    f'<text x="{x + 5:.1f}" y="{y + row_h - 6}" '
+                    f'font-size="10" fill="#ffffff">'
+                    f"{html.escape(label)}</text>"
+                )
+            emit(children, depth + 1, x)
+            x += w
+
+    emit(root, 0, 0.0)
+    height = deepest[0] * row_h + 2
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="sampled stack icicle, root lane at top, '
+        f'width proportional to samples">' + "".join(parts) + "</svg>"
+    )
+
+
+def _profile_section(doc: dict) -> str:
+    """Panel from a ``repro-profile/v1`` document."""
+    from .profiler import hotspots
+
+    n = int(doc.get("n_samples", 0))
+    if not n:
+        return ("<p class='meta'>(profile recorded but holds no samples "
+                "— the run was too short for the sampling rate; raise "
+                "--hz)</p>")
+    lanes = ", ".join(doc.get("lanes") or []) or "-"
+    parts = [
+        f"<p class='meta'>{n} samples @ {doc.get('hz', 0):g} Hz &middot; "
+        f"{float(doc.get('sampled_seconds', 0.0)):.2f}s sampled &middot; "
+        f"lanes: {html.escape(lanes)}</p>",
+        '<p class="legend">icicle: lane &rarr; open spans &rarr; frames, '
+        "top to bottom; width &prop; samples; hover for counts</p>",
+        _profile_icicle(doc),
+    ]
+    rows = []
+    for r in hotspots(doc, top=10):
+        rows.append(
+            "<tr>"
+            f"<td>{html.escape(r['frame'])}</td>"
+            f'<td class="num">{r["self_seconds"]:.3f}</td>'
+            f'<td class="num">{r["self_fraction"] * 100:.1f}%</td>'
+            f'<td class="num">{r["total_seconds"]:.3f}</td>'
+            f'<td class="num">{r["self_samples"]}</td>'
+            "</tr>"
+        )
+    if rows:
+        parts.append(
+            "<table><thead><tr><th>frame</th><th>self s</th><th>self %</th>"
+            "<th>total s</th><th>samples</th></tr></thead><tbody>"
+            + "".join(rows) + "</tbody></table>"
+        )
+    return "".join(parts)
+
+
 def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      diffs: list[DiffResult] | None = None,
                      memory_readings: list[dict] | None = None,
@@ -591,6 +705,7 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      kind_table_text: str | None = None,
                      attribution: dict | None = None,
                      roofline: dict | None = None,
+                     profile: dict | None = None,
                      title: str = "repro dashboard") -> str:
     """Assemble the full self-contained HTML document (returns the string)."""
     info = build_info()
@@ -629,6 +744,18 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
         parts.append("<h2>Roofline: achieved throughput vs machine "
                      "ceilings</h2>")
         parts.append(_roofline_section(roofline))
+    if profile is not None:
+        parts.append("<h2>Sampling profiler: span-joined icicle</h2>")
+        parts.append(_profile_section(profile))
+    elif kind_table_text or trace_summary:
+        # A trace was rendered but no profile artifact exists (e.g. a
+        # pre-profiler trace dir): say so instead of silently omitting.
+        parts.append("<h2>Sampling profiler</h2>")
+        parts.append(
+            "<p class='meta'>no profile captured — record one with "
+            "<code>repro profile &lt;cmd&gt;</code> or "
+            "<code>repro trace --profile</code></p>"
+        )
     if kind_table_text:
         parts.append("<h2>Trace: per-kind aggregates</h2>")
         parts.append(f"<pre>{html.escape(kind_table_text)}</pre>")

@@ -40,6 +40,7 @@ from contextlib import contextmanager
 from . import _ctx
 from . import events as _events_mod
 from . import memory as _memory_mod
+from . import profiler as _profiler_mod
 from . import trace as _trace_mod
 from .metrics import MetricsRegistry
 
@@ -64,23 +65,28 @@ class RunContext:
     """
 
     __slots__ = ("run_id", "tracer", "events", "metrics", "memory",
-                 "trace_enabled", "events_enabled", "mem_enabled",
+                 "profiler", "trace_enabled", "events_enabled",
+                 "mem_enabled", "profile_enabled",
                  "created_at", "finished_at", "status", "meta")
 
     def __init__(self, run_id: str | None = None, *,
                  tracer=None, events=None, metrics=None, memory=None,
+                 profiler=None,
                  trace_enabled: bool | None = None,
                  events_enabled: bool | None = None,
                  mem_enabled: bool | None = None,
+                 profile_enabled: bool | None = None,
                  meta: dict | None = None):
         self.run_id = run_id or new_run_id()
         self.tracer = tracer
         self.events = events
         self.metrics = metrics
         self.memory = memory
+        self.profiler = profiler
         self.trace_enabled = trace_enabled
         self.events_enabled = events_enabled
         self.mem_enabled = mem_enabled
+        self.profile_enabled = profile_enabled
         self.created_at = time.time()
         self.finished_at: float | None = None
         self.status = "created"
@@ -96,12 +102,16 @@ class RunContext:
     @classmethod
     def scoped(cls, run_id: str | None = None, *,
                trace: bool = False, events: bool = True, mem: bool = False,
+               profile: bool = False, profile_hz: float | None = None,
                sink_path: str | None = None, events_maxlen: int = 4096,
                **meta) -> "RunContext":
         """A context with fresh, fully isolated instruments.
 
         The enable flags are pinned (not deferred), so a scoped run is
         unaffected by — and does not affect — the module-global switches.
+        With ``profile=True`` the context owns a private
+        :class:`~repro.obs.profiler.ProfileStore`; :func:`using` keeps
+        the process-wide sampler thread alive for the activation.
         """
         return cls(
             run_id,
@@ -110,9 +120,12 @@ class RunContext:
                                         sink_path=sink_path),
             metrics=MetricsRegistry(),
             memory=_memory_mod.MemTracker(),
+            profiler=(_profiler_mod.ProfileStore(hz=profile_hz)
+                      if profile else None),
             trace_enabled=trace,
             events_enabled=events,
             mem_enabled=mem,
+            profile_enabled=profile,
             meta=meta,
         )
 
@@ -134,6 +147,7 @@ class RunContext:
             "trace_enabled": self.trace_enabled,
             "events_enabled": self.events_enabled,
             "mem_enabled": self.mem_enabled,
+            "profile_enabled": self.profile_enabled,
             "meta": self.meta,
         }
         if self.events is not None:
@@ -141,6 +155,8 @@ class RunContext:
             out["run"] = self.events.run.to_dict()
         if self.tracer is not None:
             out["n_spans"] = len(self.tracer)
+        if self.profiler is not None:
+            out["n_profile_samples"] = self.profiler.n_samples
         return out
 
     def __repr__(self) -> str:
@@ -219,6 +235,15 @@ def using(ctx: RunContext, *, register: bool = True):
     if register:
         run_registry.register(ctx)
     ctx.status = "running"
+    profiled = bool(ctx.profile_enabled)
+    bind_token = None
+    if profiled:
+        _profiler_mod.retain_sampler(
+            ctx.profiler.hz if ctx.profiler is not None else None
+        )
+        # Samples on this thread taken outside any span (or with tracing
+        # off entirely) still belong to this run's store.
+        bind_token = _profiler_mod.bind_thread(ctx.profiler)
     token = _ctx.activate(ctx)
     try:
         yield ctx
@@ -230,3 +255,7 @@ def using(ctx: RunContext, *, register: bool = True):
     finally:
         ctx.finished_at = time.time()
         _ctx.deactivate(token)
+        if profiled:
+            if bind_token is not None:
+                _profiler_mod.unbind_thread(bind_token)
+            _profiler_mod.release_sampler()

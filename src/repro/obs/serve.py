@@ -411,22 +411,25 @@ def load_trace_dir(trace_dir: str) -> dict:
     Replays ``trace.jsonl`` spans into the registry's span histograms (and
     derives the pool utilization gauges), restores ``metrics.json`` gauges
     / counters / event counts, and feeds ``events.jsonl`` back into the
-    event log so ``/runz`` reflects the recorded run.  Returns a summary
-    of what was loaded; raises ``FileNotFoundError`` when the directory
-    has none of the expected artifacts.
+    event log so ``/runz`` reflects the recorded run.  Artifact reading
+    goes through :class:`~repro.obs.artifacts.TraceArtifacts`, so missing
+    files are simply skipped and malformed ones warn instead of aborting
+    the replay.  Returns a summary of what was loaded; raises
+    ``FileNotFoundError`` when the directory has none of the expected
+    artifacts.
     """
     import os
 
-    from .export import read_jsonl
+    from .artifacts import TraceArtifacts
     from .utilization import utilization_from_spans
 
     loaded = {"spans": 0, "events": 0, "gauges": 0, "counters": 0}
     found = False
+    arts = TraceArtifacts(trace_dir)
 
-    jsonl_path = os.path.join(trace_dir, "trace.jsonl")
-    if os.path.exists(jsonl_path):
+    spans = arts.spans()
+    if spans is not None:
         found = True
-        spans = read_jsonl(jsonl_path)
         for rec in spans:
             if rec.t1 is not None:
                 _registry.observe_span(rec.kind, rec.duration)
@@ -437,11 +440,10 @@ def load_trace_dir(trace_dir: str) -> dict:
             _registry.set_gauge("pool.busy_seconds", util.busy_seconds)
             _registry.set_gauge("pool.n_workers", len(util.workers))
 
-    metrics_path = os.path.join(trace_dir, "metrics.json")
-    if os.path.exists(metrics_path):
+    metrics_doc = arts.metrics()
+    if metrics_doc is not None:
         found = True
-        with open(metrics_path) as fh:
-            snap = json.load(fh).get("metrics", {})
+        snap = metrics_doc.get("metrics", {})
         for name, value in snap.get("gauges", {}).items():
             _registry.set_gauge(name, value)
             loaded["gauges"] += 1
@@ -455,19 +457,17 @@ def load_trace_dir(trace_dir: str) -> dict:
                 counters.extra[name] = value
             loaded["counters"] += 1
 
-    events_path = os.path.join(trace_dir, "events.jsonl")
-    if os.path.exists(events_path):
+    events = arts.events()
+    if events is not None:
         found = True
         log = _events.get_log()
-        loaded["events"] = log.replay(_events.read_events(events_path))
+        loaded["events"] = log.replay(events)
 
     # Per-mode prediction-error gauges from a recorded attribution doc, so
     # a replayed /metrics carries the same attr.* series as a live run.
-    attribution_path = os.path.join(trace_dir, "attribution.json")
-    if os.path.exists(attribution_path):
+    attr_doc = arts.attribution()
+    if attr_doc is not None:
         found = True
-        with open(attribution_path) as fh:
-            attr_doc = json.load(fh)
         max_err = None
         for row in attr_doc.get("modes", []):
             ratio = row.get("flops_ratio")
@@ -498,6 +498,27 @@ def load_trace_dir(trace_dir: str) -> dict:
             found = True
             publish_roofline_gauges(report.roofline, report.configs)
             loaded["gauges"] += 4 + len(report.roofline.bandwidth_points)
+
+    # Sampling-profiler gauges from profile.json: overall sample stats
+    # plus per-span-kind self seconds for the hottest kinds, so a
+    # replayed /metrics answers "where did the time go" without the
+    # artifact in hand.
+    profile_doc = arts.profile()
+    if profile_doc is not None:
+        found = True
+        _registry.set_gauge("profile.n_samples",
+                            int(profile_doc.get("n_samples", 0)))
+        _registry.set_gauge("profile.hz",
+                            float(profile_doc.get("hz", 0.0)))
+        _registry.set_gauge("profile.sampled_seconds",
+                            float(profile_doc.get("sampled_seconds", 0.0)))
+        loaded["gauges"] += 3
+        for row in profile_doc.get("spans", [])[:8]:
+            _registry.set_gauge(
+                f"profile.span.{row['kind']}.self_seconds",
+                float(row.get("self_seconds", 0.0)),
+            )
+            loaded["gauges"] += 1
 
     if not found:
         raise FileNotFoundError(

@@ -36,7 +36,7 @@ from .metrics import registry as _metrics
 __all__ = [
     "SpanRecord", "Tracer", "span", "record_span", "enabled", "enable",
     "disable", "tracing", "get_tracer", "current_span_id",
-    "merge_subprocess_spans",
+    "merge_subprocess_spans", "set_span_observer",
 ]
 
 
@@ -203,6 +203,22 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: optional span lifecycle hook (the sampling profiler's live span-stack
+#: mirror).  Kept as a raw module global so the off cost is one load and
+#: a None check per span enter/exit — no indirection, no list.
+_span_observer = None
+
+
+def set_span_observer(observer) -> None:
+    """Install (or clear, with ``None``) the span lifecycle observer.
+
+    The observer sees every ``push(rec)`` at span enter and ``pop(rec)``
+    at span exit, on the thread that runs the span.  One observer at a
+    time; :mod:`repro.obs.profiler` owns it while sampling is on.
+    """
+    global _span_observer
+    _span_observer = observer
+
 
 class _Span:
     __slots__ = ("kind", "attrs", "rec", "_token", "_tracer")
@@ -224,9 +240,15 @@ class _Span:
         self.rec = rec
         self._tracer = tracer
         self._token = _current.set(rec.id)
+        observer = _span_observer
+        if observer is not None:
+            observer.push(rec)
         return rec
 
     def __exit__(self, *exc) -> bool:
+        observer = _span_observer
+        if observer is not None:
+            observer.pop(self.rec)
         _current.reset(self._token)
         rec = self.rec
         rec.t1 = self._tracer.now()

@@ -22,6 +22,7 @@ from ..core.dtypes import VALUE_DTYPE
 from ..core.validate import check_mode, check_positive_int
 from ..baselines.base import MttkrpBackend
 from ..obs import _ctx as _run_ctx
+from ..obs import profiler as _profiler
 from ..obs import trace as _trace
 from ..obs.metrics import registry as _metrics
 from .partition import partition_nonzeros
@@ -138,6 +139,9 @@ class WorkerPool:
             wid = self._worker_ids.get(ident)
             if wid is None:
                 wid = self._worker_ids[ident] = len(self._worker_ids)
+                # Once per thread: folded profiler stacks carry the same
+                # lane id as this thread's pool_task spans.
+                _profiler.label_thread(ident, f"worker-{wid}")
             return wid
 
     def run(self, tasks: Sequence[Callable[[], object]]) -> list[object]:

@@ -63,6 +63,7 @@ from ..core.dtypes import VALUE_DTYPE
 from ..core.validate import check_mode
 from ..kernels.alto import AltoEncoding, aligned_chunks, fits_alto
 from ..obs import events as _events
+from ..obs import profiler as _profiler
 from ..obs import trace as _trace
 from ..obs.metrics import registry as _metrics
 from .pool import ParallelCooMttkrp, resolve_worker_count
@@ -92,7 +93,8 @@ def default_start_method() -> str:
     return "fork" if "fork" in methods else methods[0]
 
 
-def _timed_call(fn: Callable, args: tuple, capture: bool = False):
+def _timed_call(fn: Callable, args: tuple, capture: bool = False,
+                profile_hz: float | None = None):
     """Worker-side wrapper: run one task, report wall time + pid (+ spans).
 
     With ``capture=False`` (parent not tracing) this is the old cheap
@@ -102,6 +104,12 @@ def _timed_call(fn: Callable, args: tuple, capture: bool = False):
     payload dict carrying the worker tracer's wall-clock epoch, the task's
     start/stop on that tracer's clock, and every interior span — enough
     for the parent to reconstruct the task on its own timeline.
+
+    ``profile_hz`` (set when the parent is profiling) additionally gives
+    the scoped context a private :class:`~repro.obs.profiler.ProfileStore`
+    and keeps a worker-local sampler thread alive for the task, so the
+    payload's ``profile`` snapshot carries the worker-interior folded
+    stacks the parent's sampler can never see.
     """
     if not capture:
         t0 = time.perf_counter()
@@ -109,7 +117,10 @@ def _timed_call(fn: Callable, args: tuple, capture: bool = False):
         return result, time.perf_counter() - t0, os.getpid(), None
     from ..obs import runctx as _runctx
 
-    ctx = _runctx.RunContext.scoped(trace=True, events=False, mem=False)
+    ctx = _runctx.RunContext.scoped(
+        trace=True, events=False, mem=False,
+        profile=profile_hz is not None, profile_hz=profile_hz,
+    )
     with _runctx.using(ctx, register=False):
         tracer = ctx.tracer
         t0 = tracer.now()
@@ -123,6 +134,8 @@ def _timed_call(fn: Callable, args: tuple, capture: bool = False):
         "tid": threading.get_ident(),
         "spans": [s.to_dict() for s in tracer.finished()],
         "counters": ctx.metrics.counters,
+        "profile": (ctx.profiler.snapshot()
+                    if ctx.profiler is not None else None),
     }
     return result, t1 - t0, os.getpid(), payload
 
@@ -191,13 +204,20 @@ class ProcessPool:
         executor = self._ensure_executor()
         traced = _trace.enabled()
         capture = traced and self.capture
+        # Ship the parent's sampling rate to the workers only when both
+        # capture and profiling are live; workers then sample themselves
+        # for the task's duration and return the folded stacks.
+        profile_hz = None
+        if capture and _profiler.enabled():
+            profile_hz = _profiler.active_hz() or _profiler.default_hz()
         tracer = _trace.get_tracer() if traced else None
         parent_span = _trace.current_span_id()
         submits = []
         futures = []
         for fn, args in calls:
             submits.append(tracer.now() if tracer is not None else 0.0)
-            futures.append(executor.submit(_timed_call, fn, args, capture))
+            futures.append(executor.submit(_timed_call, fn, args, capture,
+                                           profile_hz))
         results = []
         durations = []
         for i, future in enumerate(futures):
@@ -228,6 +248,14 @@ class ProcessPool:
                 counters = payload.get("counters")
                 if counters is not None and any(counters.snapshot().values()):
                     _metrics.counters.add(counters)
+                profile = payload.get("profile")
+                if profile and profile.get("n_samples") \
+                        and _profiler.enabled():
+                    store = _profiler.get_store()
+                    if store is not None:
+                        # Same re-rooting as the spans above: worker
+                        # stacks land under pool_task, one lane per pid.
+                        store.merge_child(profile, lane=f"pid-{pid}")
             else:
                 # No payload (worker ran without capture): synthesize the
                 # span from the reported duration, as before PR 7, and
