@@ -21,6 +21,11 @@ three configurations:
 * ``enabled_memtrack`` — spans plus the memoized-value memory tracker
   (store/free events + per-iteration windows), i.e. everything
   ``repro trace`` turns on except tracemalloc sampling;
+* ``enabled_health`` — spans plus the numerical-health collector
+  (:mod:`repro.obs.health`): per-mode Gram conditioning (one ``R x R``
+  ``eigh``), factor deltas, cross-mode congruence, and the
+  fit-trajectory classifier, mirrored mode-for-mode off ``cp_als``'s
+  wiring, i.e. what ``REPRO_HEALTH=1`` and ``repro trace`` turn on;
 * ``enabled_attribution`` — spans plus per-node/per-mode cost
   attribution (:mod:`repro.obs.attribution`): predictions registered
   from the cost model, per-iteration windows diffed into
@@ -51,10 +56,10 @@ to ``benchmarks/history/history.jsonl`` for ``repro bench-diff``::
     PYTHONPATH=src python benchmarks/bench_obs_overhead.py
 
 The acceptance bar: enabled overhead < 3%, memory tracking, cost
-attribution, and the sampling profiler (at default hz) < 2% each on
-top, disabled within timer noise of an uninstrumented build (the guard
-is one module-bool check per call site — profiler off means one ``None``
-check in the span hooks).
+attribution, numerical health, and the sampling profiler (at default
+hz) < 2% each on top, disabled within timer noise of an uninstrumented
+build (the guard is one module-bool check per call site — profiler off
+means one ``None`` check in the span hooks).
 """
 
 import json
@@ -68,6 +73,7 @@ from repro.core.strategy import balanced_binary
 from repro.model.cost import cost_from_symbolic
 from repro.obs import attribution as obs_attr
 from repro.obs import events as obs_events
+from repro.obs import health as obs_health
 from repro.obs import memory as obs_memory
 from repro.obs import trace as obs_trace
 from repro.obs.buildinfo import artifact_envelope
@@ -92,6 +98,8 @@ def _best_iteration_seconds(engine, repeats: int, *,
                             mem_tracker=None,
                             attr_recorder=None,
                             roofline_pass=None,
+                            health_collector=None,
+                            health_grams=None,
                             emit_iteration_events: bool = False) -> float:
     _als_iteration(engine)  # warm: caches, arena, (when tracing) span path
     best = float("inf")
@@ -100,6 +108,8 @@ def _best_iteration_seconds(engine, repeats: int, *,
             mem_tracker.begin_window()
         if attr_recorder is not None:
             attr_recorder.begin_window()
+        if health_collector is not None:
+            health_collector.begin_iteration(i)
         t0 = time.perf_counter()
         if watchdog is not None:
             with perf.counting() as c:
@@ -108,6 +118,23 @@ def _best_iteration_seconds(engine, repeats: int, *,
             watchdog.observe(i, c, seconds)
         else:
             _als_iteration(engine)
+            if health_collector is not None:
+                # Mirror cp_als's per-mode/per-iteration observation
+                # inside the timed window: solve-site contextvar + Gram
+                # conditioning + factor delta per mode, then congruence
+                # + trajectory at iteration close.  The Hadamard
+                # combine is charged to health here even though ALS
+                # pays it anyway for the solve — conservative.
+                for n in engine.mode_order:
+                    obs_health.set_site(i, n)
+                    health_collector.observe_mode(
+                        n, health_grams.combined(skip=n),
+                        engine.factors[n], engine.factors[n],
+                    )
+                obs_health.clear_site()
+                health_collector.observe_iteration(
+                    i, grams=health_grams, fit=1.0 - 0.5 ** (i + 1)
+                )
             if roofline_pass is not None:
                 roofline_pass()  # part of the cost under test: stay timed
             seconds = time.perf_counter() - t0
@@ -224,6 +251,25 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
     obs_attr.disable()
     recorder.reset()
 
+    from repro.linalg.gram import GramCache
+
+    obs_trace.get_tracer().clear()
+    obs_health.enable(clear=True)
+    health_collector = obs_health.get_collector()
+    health_collector.start_run(n_modes=len(ACCEPT_SHAPE),
+                               rank=ACCEPT_RANK)
+    with_health = _best_iteration_seconds(
+        engine, repeats, health_collector=health_collector,
+        health_grams=GramCache(engine.factors),
+    )
+    health_readings = len(health_collector.readings)
+    health_trajectory = (
+        health_collector.readings[-1].trajectory if health_readings
+        else None
+    )
+    obs_health.disable()
+    health_collector.reset()
+
     from repro.obs.roofline import (publish_roofline_gauges,
                                     throughput_from_spans, tree_node_terms)
 
@@ -336,6 +382,10 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
                 "seconds_per_iteration": with_attribution,
                 "overhead_pct": pct(with_attribution),
             },
+            "enabled_health": {
+                "seconds_per_iteration": with_health,
+                "overhead_pct": pct(with_health),
+            },
             "enabled_roofline": {
                 "seconds_per_iteration": with_roofline,
                 "overhead_pct": pct(with_roofline),
@@ -362,6 +412,8 @@ def run_overhead_bench(repeats: int = REPEATS) -> dict:
         "memtrack": {"peak_bytes": mem_peak, "events": mem_events},
         "attribution": {"readings": attr_readings,
                         "max_node_flop_err": attr_worst_err},
+        "health": {"readings": health_readings,
+                   "final_trajectory": health_trajectory},
         "roofline": {"configs": roofline_configs},
         "profile": {"samples": profile_samples, "hz": profile_hz,
                     "ab_baseline_seconds": profile_base,
@@ -412,6 +464,15 @@ def main() -> None:
     )
     assert report["profile"]["samples"] > 0, (
         "profiler collected no samples across the profiled iterations"
+    )
+    health = report["runs"]["enabled_health"]
+    health_cost = (health["seconds_per_iteration"] / recheck - 1.0) * 100.0
+    assert health_cost < 2.0, (
+        f"numerical-health collection costs {health_cost:.2f}% (vs the "
+        f"adjacent re-measured baseline), exceeding the 2% budget"
+    )
+    assert report["health"]["readings"] >= 1, (
+        "health collector produced no readings on an enabled run"
     )
     roofline = report["runs"]["enabled_roofline"]
     roofline_cost = (roofline["seconds_per_iteration"] / recheck

@@ -20,6 +20,8 @@ from ..core.engine import MemoizedMttkrp
 from ..core.strategy import resolve_strategy
 from ..core.symbolic import SymbolicTree
 from ..core.validate import check_positive_int, check_random_state
+from ..obs.health import (FitTrajectory, TRAJECTORY_STALLED,
+                          TRAJECTORY_SWAMPED, congruence_from_factors)
 
 
 @dataclass
@@ -28,6 +30,9 @@ class RestartReport:
 
     results: list[CPResult]
     best_index: int
+    #: restart index -> {"iteration": int, "reason": label} for restarts
+    #: the ``early_stop`` classifier cut short (empty otherwise).
+    early_stops: dict[int, dict] = field(default_factory=dict)
 
     @property
     def best(self) -> CPResult:
@@ -37,6 +42,42 @@ class RestartReport:
         return [r.fit for r in self.results]
 
 
+class _HopelessRestartStopper:
+    """Per-restart cp_als callback ending stalled/swamped runs early.
+
+    Fully deterministic: the decision depends only on the restart's own
+    fit series and factor congruence (via
+    :class:`repro.obs.health.FitTrajectory`), never on wall time or
+    telemetry state, so repeated runs cut the same restarts at the same
+    iterations.  A wrapped user callback still runs first and its truthy
+    return is honored unrecorded (it is the caller's stop, not ours).
+    """
+
+    def __init__(self, index: int, record: dict, *, window: int,
+                 stall_tol: float, swamp_congruence: float,
+                 user_callback=None):
+        self.index = index
+        self.record = record
+        self.user_callback = user_callback
+        self.trajectory = FitTrajectory(
+            window=window, stall_tol=stall_tol,
+            swamp_congruence=swamp_congruence,
+        )
+
+    def __call__(self, iteration: int, fit: float, model) -> bool:
+        if self.user_callback is not None and self.user_callback(
+                iteration, fit, model):
+            return True
+        congruence, _ = congruence_from_factors(model.factors)
+        label, _rate = self.trajectory.observe(fit, congruence)
+        if label in (TRAJECTORY_STALLED, TRAJECTORY_SWAMPED):
+            self.record[self.index] = {
+                "iteration": iteration, "reason": label,
+            }
+            return True
+        return False
+
+
 def cp_als_restarts(
     tensor: CooTensor,
     rank: int,
@@ -44,6 +85,10 @@ def cp_als_restarts(
     *,
     strategy="auto",
     random_state=None,
+    early_stop: bool = False,
+    early_stop_window: int = 5,
+    early_stop_tol: float = 1e-6,
+    early_stop_congruence: float = 0.97,
     **cp_kwargs,
 ) -> RestartReport:
     """Run CP-ALS from ``n_restarts`` random inits, sharing symbolic work.
@@ -52,6 +97,18 @@ def cp_als_restarts(
     symbolic tree is then reused by every restart (restart ``k`` costs only
     numeric work).  Extra keyword arguments go to
     :func:`repro.core.cpals.cp_als`.
+
+    With ``early_stop=True`` each restart is watched by the
+    numerical-health stall/swamp classifier
+    (:class:`repro.obs.health.FitTrajectory`): a restart whose fit
+    flat-lines below ``early_stop_tol`` over ``early_stop_window``
+    iterations — or swamps with component congruence at/above
+    ``early_stop_congruence`` — is terminated instead of burning its
+    remaining iteration budget.  Every restart still runs (seeds are drawn
+    in the same order as without the option) and ``best_index`` selection
+    stays deterministic: ``argmax`` over the final fits, first winner on
+    ties.  Cut-short restarts are recorded in
+    :attr:`RestartReport.early_stops`.
     """
     check_positive_int(n_restarts, "n_restarts")
     rng = check_random_state(random_state)
@@ -67,16 +124,27 @@ def cp_als_restarts(
         return MemoizedMttkrp(t, chosen, symbolic=shared_symbolic)
 
     results = []
-    for _ in range(n_restarts):
+    early_stops: dict[int, dict] = {}
+    for i in range(n_restarts):
         seed = int(rng.integers(0, 2**31 - 1))
+        kwargs = cp_kwargs
+        if early_stop:
+            kwargs = dict(cp_kwargs)
+            kwargs["callback"] = _HopelessRestartStopper(
+                i, early_stops,
+                window=early_stop_window, stall_tol=early_stop_tol,
+                swamp_congruence=early_stop_congruence,
+                user_callback=cp_kwargs.get("callback"),
+            )
         results.append(
             cp_als(
                 tensor, rank, engine_factory=engine_factory,
-                random_state=seed, **cp_kwargs,
+                random_state=seed, **kwargs,
             )
         )
     best_index = int(np.argmax([r.fit for r in results]))
-    return RestartReport(results=results, best_index=best_index)
+    return RestartReport(results=results, best_index=best_index,
+                         early_stops=early_stops)
 
 
 @dataclass

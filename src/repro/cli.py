@@ -327,6 +327,7 @@ def cmd_complete(args) -> int:
 def cmd_trace(args) -> int:
     from .obs import attribution as obs_attr
     from .obs import events as obs_events
+    from .obs import health as obs_health
     from .obs import memory as obs_memory
     from .obs import profiler as obs_profiler
     from .obs import runctx as obs_runctx
@@ -357,11 +358,13 @@ def cmd_trace(args) -> int:
     events_were_enabled = obs_events.enabled()
     attr_was_enabled = obs_attr.enabled()
     prof_was_enabled = obs_profiler.enabled()
+    health_was_enabled = obs_health.enabled()
     profile_on = bool(getattr(args, "profile", False)) or prof_was_enabled
     obs_trace.enable(clear=True)
     obs_memory.enable(clear=True, sample_tracemalloc=True)
     obs_events.enable(clear=not events_were_enabled)
     obs_attr.enable(clear=True)
+    obs_health.enable(clear=True)
     if profile_on:
         obs_profiler.enable(getattr(args, "profile_hz", None), clear=True)
     registry.reset()
@@ -383,6 +386,8 @@ def cmd_trace(args) -> int:
             obs_events.disable()
         if not attr_was_enabled:
             obs_attr.disable()
+        if not health_was_enabled:
+            obs_health.disable()
         if profile_on and not prof_was_enabled:
             obs_profiler.disable()
     elapsed = time.perf_counter() - t0
@@ -420,6 +425,12 @@ def cmd_trace(args) -> int:
         with open(attribution_path, "w") as fh:
             _json.dump(attr.snapshot(), fh, indent=2)
             fh.write("\n")
+    health_collector = obs_health.get_collector()
+    health_path = None
+    if health_collector.has_data:
+        health_path = obs_health.write_health(
+            args.trace_dir, run_id=run_ctx.run_id,
+        )
     # Snapshot the host calibration (load-only, never measures) so the
     # trace dir is self-contained for later roofline attribution.
     from .model.calibrate import load_roofline, machine_artifact
@@ -450,6 +461,18 @@ def cmd_trace(args) -> int:
         print(f"\nmemory: peak memoized values {mem.peak_bytes:,} B "
               f"(predicted {last.predicted_peak_bytes:,} B, "
               f"{len(mem.readings)} iteration readings)")
+    if health_path is not None:
+        last = health_collector.readings[-1]
+        import math as _math
+
+        max_cond = last.max_condition_number
+        print(f"\nhealth: {len(health_collector.readings)} iteration "
+              f"readings, final trajectory {last.trajectory!r}, "
+              f"max κ(H) "
+              + (f"{max_cond:.3e}" if _math.isfinite(max_cond)
+                 else "singular")
+              + f", congruence {last.congruence:.4f}, "
+              f"{health_collector.total_pinv_fallbacks} pinv fallbacks")
     if profile_doc is not None:
         print(f"\nprofile: {profile_doc['n_samples']} samples @ "
               f"{profile_doc['hz']:g} Hz "
@@ -462,6 +485,7 @@ def cmd_trace(args) -> int:
           f"https://ui.perfetto.dev), {jsonl_path}, {memory_path}, "
           f"{metrics_path}, {events_path}"
           + (f", {attribution_path}" if attribution_path else "")
+          + (f", {health_path}" if health_path else "")
           + (f", {profile_path} (+ profile.folded for flamegraph.pl/"
              "speedscope)" if profile_path else ""))
     return rc
@@ -549,6 +573,18 @@ def cmd_report(args) -> int:
     else:
         print("\nno profile captured (run 'repro profile <cmd>' or "
               "'repro trace --profile' to record one)")
+    # Numerical-health section; pre-health trace dirs degrade to an
+    # explicit note rather than an error.
+    from .obs.health import format_health
+
+    health_doc = arts.health()
+    if health_doc is not None:
+        print(f"\nnumerical health from {arts.path('health')}:")
+        print(format_health(health_doc))
+    else:
+        print("\nno numerical-health readings (pre-health trace dir; "
+              "re-run 'repro trace <cmd>' or set REPRO_HEALTH=1 to "
+              "record them)")
     for filename, reason in arts.skipped:
         print(f"warning: skipped malformed {filename}: {reason}",
               file=sys.stderr)
@@ -613,6 +649,7 @@ def cmd_bench_diff(args) -> int:
 def cmd_serve(args) -> int:
     from .obs import attribution as obs_attr
     from .obs import events as obs_events
+    from .obs import health as obs_health
     from .obs import memory as obs_memory
     from .obs import runctx as obs_runctx
     from .obs import trace as obs_trace
@@ -652,10 +689,12 @@ def cmd_serve(args) -> int:
     mem_was_enabled = obs_memory.enabled()
     events_were_enabled = obs_events.enabled()
     attr_was_enabled = obs_attr.enabled()
+    health_was_enabled = obs_health.enabled()
     obs_trace.enable(clear=True)
     obs_memory.enable(clear=True)
     obs_events.enable(clear=not events_were_enabled)
     obs_attr.enable(clear=True)
+    obs_health.enable(clear=True)
     registry.reset()
     server.start()
     run_ctx = obs_runctx.RunContext.ambient(command=rest[0])
@@ -675,6 +714,8 @@ def cmd_serve(args) -> int:
             obs_events.disable()
         if not attr_was_enabled:
             obs_attr.disable()
+        if not health_was_enabled:
+            obs_health.disable()
     return rc
 
 
@@ -735,6 +776,7 @@ def cmd_dashboard(args) -> int:
     attribution_doc = None
     roofline_doc = None
     profile_doc = None
+    health_doc = None
     skipped: list[tuple[str, str]] = []
     if args.trace_dir and os.path.isdir(args.trace_dir):
         from .obs.artifacts import TraceArtifacts
@@ -747,6 +789,7 @@ def cmd_dashboard(args) -> int:
         readings = arts.memory_readings() or []
         attribution_doc = arts.attribution()
         profile_doc = arts.profile()
+        health_doc = arts.health()
         spans = arts.spans()
         if spans is not None:
             from .obs.utilization import utilization_from_spans
@@ -776,6 +819,7 @@ def cmd_dashboard(args) -> int:
         attribution=attribution_doc,
         roofline=roofline_doc,
         profile=profile_doc,
+        health=health_doc,
     )
     print(f"wrote {out} ({len(entries)} history entries, "
           f"{len(readings)} memory readings)")

@@ -21,6 +21,7 @@ from ..linalg.norms import normalize_columns
 from ..linalg.solve import solve_normal_equations
 from ..obs import attribution as _obs_attr
 from ..obs import events as _obs_events
+from ..obs import health as _obs_health
 from ..obs import memory as _obs_mem
 from ..obs import runctx as _runctx
 from ..obs import trace as _obs
@@ -59,6 +60,11 @@ class CPResult:
         per-tree-node / per-mode work aligned node-for-node with the cost
         model) when attribution was enabled
         (:func:`repro.obs.attribution.enabled`), else None.
+    health_readings: per-iteration
+        :class:`~repro.obs.health.HealthReading` list (Gram conditioning,
+        factor deltas, congruence/swamp detection, fit-trajectory
+        classification) when numerical-health collection was enabled
+        (:func:`repro.obs.health.enabled`), else None.
     """
 
     ktensor: KruskalTensor
@@ -71,6 +77,7 @@ class CPResult:
     drift_readings: list | None = None
     memory_readings: list | None = None
     attribution_readings: list | None = None
+    health_readings: list | None = None
 
     @property
     def fit(self) -> float:
@@ -161,7 +168,11 @@ def cp_als(
     engine_factory:
         escape hatch for benchmarking: a callable returning an MTTKRP
         backend for the tensor.
-    callback: invoked as ``callback(iteration, fit, model)`` per iteration.
+    callback: invoked as ``callback(iteration, fit, model)`` per iteration;
+        returning a truthy value stops the run after that iteration
+        (without marking it converged) — the hook
+        :func:`repro.algos.restarts.cp_als_restarts` uses for its
+        ``early_stop`` hopeless-restart cutoff.
     watchdog:
         a :class:`~repro.obs.watchdog.DriftWatchdog` comparing the model's
         predicted per-iteration cost against measured counters and wall
@@ -287,6 +298,16 @@ def _cp_als_run(
         )
         attr_readings = []
 
+    health_collector = None
+    health_readings: list | None = None
+    if _obs_health.enabled():
+        health_collector = _obs_health.get_collector()
+        health_collector.start_run(n_modes=tensor.ndim, rank=rank)
+        health_readings = []
+    # Solve-site attribution for the solver's fallback telemetry: cheap
+    # (one contextvar set per mode), but only paid when someone listens.
+    track_site = health_collector is not None or _obs_events.enabled()
+
     if _obs_events.enabled():
         _obs_events.emit(
             "run_start", shape=list(tensor.shape), nnz=tensor.nnz,
@@ -305,6 +326,8 @@ def _cp_als_run(
         nonlocal weights
         M_last: np.ndarray | None = None
         for n in mode_order:
+            if track_site:
+                _obs_health.set_site(iteration, n)
             M = engine.mttkrp(n)
             with _obs.span("factor_solve", mode=n):
                 H = grams.combined(skip=n)
@@ -317,78 +340,117 @@ def _cp_als_run(
                 )
                 norms = np.where(norms > 0, norms, 1.0)
                 weights = norms
+                if health_collector is not None:
+                    # Read-only: conditioning of the Gram just solved and
+                    # the relative change against the outgoing factor.
+                    health_collector.observe_mode(
+                        n, H, engine.factors[n], U
+                    )
                 engine.update_factor(n, U)
                 grams.update(n, U)
             M_last = M
         assert M_last is not None
         return M_last
 
-    for iteration in range(n_iter_max):
-        it0 = time.perf_counter()
-        if mem_tracker is not None:
-            mem_tracker.begin_window()
-        if attr_recorder is not None:
-            attr_recorder.begin_window()
-        with _obs.span("als_iteration", iteration=iteration):
-            if watchdog is not None:
-                # Count this iteration's work in a private sink, then fold
-                # it into any caller-installed counters so their totals are
-                # unchanged by the watchdog being active.
-                outer = perf.active_counters()
-                with perf.counting() as it_counters:
+    try:
+        for iteration in range(n_iter_max):
+            it0 = time.perf_counter()
+            if mem_tracker is not None:
+                mem_tracker.begin_window()
+            if attr_recorder is not None:
+                attr_recorder.begin_window()
+            if health_collector is not None:
+                health_collector.begin_iteration(iteration)
+            with _obs.span("als_iteration", iteration=iteration):
+                if watchdog is not None:
+                    # Count this iteration's work in a private sink, then
+                    # fold it into any caller-installed counters so their
+                    # totals are unchanged by the watchdog being active.
+                    outer = perf.active_counters()
+                    with perf.counting() as it_counters:
+                        M_last = run_modes(iteration)
+                    if outer is not None:
+                        outer.add(it_counters)
+                else:
                     M_last = run_modes(iteration)
-                if outer is not None:
-                    outer.add(it_counters)
-            else:
-                M_last = run_modes(iteration)
-        it_seconds = time.perf_counter() - it0
-        iter_times.append(it_seconds)
-        mem_reading = None
-        if mem_tracker is not None:
-            mem_reading = mem_tracker.observe_iteration(
-                iteration,
-                predicted_peak_bytes=predicted_peak,
-                workspace_bytes=engine.workspace_nbytes(),
-                factor_bytes=engine.factor_bytes(),
-            )
-            mem_readings.append(mem_reading)
-        attr_reading = None
-        if attr_recorder is not None:
-            attr_reading = attr_recorder.observe_iteration(iteration)
-            attr_readings.append(attr_reading)
-        if watchdog is not None:
-            watchdog.observe(iteration, it_counters, it_seconds,
-                             mem=mem_reading, attribution=attr_reading)
+            it_seconds = time.perf_counter() - it0
+            iter_times.append(it_seconds)
+            mem_reading = None
+            if mem_tracker is not None:
+                mem_reading = mem_tracker.observe_iteration(
+                    iteration,
+                    predicted_peak_bytes=predicted_peak,
+                    workspace_bytes=engine.workspace_nbytes(),
+                    factor_bytes=engine.factor_bytes(),
+                )
+                mem_readings.append(mem_reading)
+            attr_reading = None
+            if attr_recorder is not None:
+                attr_reading = attr_recorder.observe_iteration(iteration)
+                attr_readings.append(attr_reading)
 
-        last = mode_order[-1]
-        fit = _compute_fit(
-            norm_x, weights, engine.factors, grams, M_last, last
-        )
-        fits.append(fit)
-        if _obs_events.enabled():
-            fields = {"iteration": iteration, "fit": fit,
-                      "seconds": it_seconds}
-            if len(fits) > 1:
-                fields["delta"] = fits[-1] - fits[-2]
-            if mem_reading is not None:
-                fields["mem_peak_bytes"] = mem_reading.measured_peak_bytes
-                fields["mem_live_bytes"] = mem_reading.live_bytes
-            if watchdog is not None and watchdog.readings:
-                reading = watchdog.readings[-1]
-                fields["drift_flops_ratio"] = reading.flops_ratio
-                fields["drift_words_ratio"] = reading.words_ratio
-                if reading.time_ratio is not None:
-                    fields["drift_time_ratio"] = reading.time_ratio
-                if reading.mem_ratio is not None:
-                    fields["drift_mem_ratio"] = reading.mem_ratio
-                if reading.fired:
-                    fields["drift_fired"] = list(reading.fired)
-            _obs_events.emit("iteration", **fields)
-        if callback is not None:
-            callback(iteration, fit, KruskalTensor(weights, engine.factors))
-        if tol > 0 and iteration > 0 and abs(fits[-1] - fits[-2]) < tol:
-            converged = True
-            break
+            last = mode_order[-1]
+            fit = _compute_fit(
+                norm_x, weights, engine.factors, grams, M_last, last
+            )
+            fits.append(fit)
+            health_reading = None
+            if health_collector is not None:
+                health_reading = health_collector.observe_iteration(
+                    iteration, grams=grams, fit=fit
+                )
+                health_readings.append(health_reading)
+            if watchdog is not None:
+                watchdog.observe(iteration, it_counters, it_seconds,
+                                 mem=mem_reading, attribution=attr_reading,
+                                 health=health_reading)
+            if _obs_events.enabled():
+                fields = {"iteration": iteration, "fit": fit,
+                          "seconds": it_seconds}
+                if len(fits) > 1:
+                    fields["delta"] = fits[-1] - fits[-2]
+                if mem_reading is not None:
+                    fields["mem_peak_bytes"] = \
+                        mem_reading.measured_peak_bytes
+                    fields["mem_live_bytes"] = mem_reading.live_bytes
+                if health_reading is not None:
+                    max_cond = health_reading.max_condition_number
+                    if np.isfinite(max_cond):
+                        fields["health_max_condition"] = max_cond
+                    max_delta = health_reading.max_factor_delta
+                    if np.isfinite(max_delta):
+                        fields["health_max_factor_delta"] = max_delta
+                    fields["health_congruence"] = health_reading.congruence
+                    fields["health_trajectory"] = health_reading.trajectory
+                    if health_reading.n_truncated:
+                        fields["health_truncated_eigenvalues"] = \
+                            health_reading.n_truncated
+                    if health_reading.pinv_fallbacks:
+                        fields["health_pinv_fallbacks"] = \
+                            health_reading.pinv_fallbacks
+                if watchdog is not None and watchdog.readings:
+                    reading = watchdog.readings[-1]
+                    fields["drift_flops_ratio"] = reading.flops_ratio
+                    fields["drift_words_ratio"] = reading.words_ratio
+                    if reading.time_ratio is not None:
+                        fields["drift_time_ratio"] = reading.time_ratio
+                    if reading.mem_ratio is not None:
+                        fields["drift_mem_ratio"] = reading.mem_ratio
+                    if reading.fired:
+                        fields["drift_fired"] = list(reading.fired)
+                _obs_events.emit("iteration", **fields)
+            if callback is not None:
+                # A truthy return requests early termination (used by
+                # cp_als_restarts' hopeless-restart cutoff).
+                if callback(iteration, fit,
+                            KruskalTensor(weights, engine.factors)):
+                    break
+            if tol > 0 and iteration > 0 and abs(fits[-1] - fits[-2]) < tol:
+                converged = True
+                break
+    finally:
+        if track_site:
+            _obs_health.clear_site()
 
     ktensor = KruskalTensor(weights, engine.factors).normalize()
     if _obs_events.enabled():
@@ -412,6 +474,7 @@ def _cp_als_run(
         drift_readings=watchdog.readings if watchdog is not None else None,
         memory_readings=mem_readings,
         attribution_readings=attr_readings,
+        health_readings=health_readings,
     )
 
 

@@ -108,5 +108,14 @@ def run(scale: float = DEFAULT_SCALE, rank: int = DEFAULT_RANK,
             "family at N=3 (only one nontrivial grouping exists), so the "
             "planner cannot always reach the best 3rd-order kernel; at "
             "N>=4 the strategy space dominates it.",
+            "Traced runs (--trace or REPRO_HEALTH=1) also record "
+            "numerical-health columns (health.json): max κ(H) is the "
+            "worst-mode Gram condition number (values approaching "
+            "1/rcond = 1e12 mean the pseudoinverse fallback is about to "
+            "truncate), congruence → 1 flags a swamp (near-collinear "
+            "components), and the trajectory column separates honest "
+            "convergence from stalls — timing comparisons are only "
+            "meaningful between runs with comparable health profiles, "
+            "since a swamped run burns iterations without progress.",
         ],
     )

@@ -6,12 +6,21 @@ frequently ill-conditioned near convergence.  We solve via Cholesky when the
 matrix is comfortably positive definite and fall back to a truncated
 eigendecomposition pseudoinverse otherwise (matching the reference CP-ALS
 behaviour of Tensor Toolbox).
+
+The fallback used to be completely silent; it now reports itself to the
+perf counters (``pinv_fallbacks`` / ``truncated_eigenvalues``), the
+numerical-health collector (:mod:`repro.obs.health`), and the structured
+event log — attributed to the in-flight (iteration, mode) solve site when
+a run context has one.  The observability imports stay off the happy
+path: the Cholesky branch touches nothing beyond NumPy/SciPy.
 """
 
 from __future__ import annotations
 
 import numpy as np
 from scipy import linalg as sla
+
+from ..perf import counters as _perf
 
 #: Relative eigenvalue cutoff for the pseudoinverse fallback.
 PINV_RCOND = 1e-12
@@ -33,12 +42,64 @@ def solve_normal_equations(M: np.ndarray, H: np.ndarray) -> np.ndarray:
         c, low = sla.cho_factor(H, check_finite=False)
         return sla.cho_solve((c, low), M.T, check_finite=False).T
     except (np.linalg.LinAlgError, sla.LinAlgError, ValueError):
-        return M @ psd_pinv(H)
+        pinv, n_truncated = psd_pinv_diagnosed(H)
+        _note_pinv_fallback(H.shape[0], n_truncated)
+        return M @ pinv
 
 
 def psd_pinv(H: np.ndarray, rcond: float = PINV_RCOND) -> np.ndarray:
     """Moore-Penrose pseudoinverse of a symmetric PSD matrix via ``eigh``."""
+    return psd_pinv_diagnosed(H, rcond)[0]
+
+
+def psd_pinv_diagnosed(H: np.ndarray,
+                       rcond: float = PINV_RCOND
+                       ) -> tuple[np.ndarray, int]:
+    """:func:`psd_pinv` plus the number of truncated eigenvalues.
+
+    The count is how many eigenvalues fell at or below the relative
+    ``rcond`` cutoff and were zeroed in the inverse — the rank deficiency
+    the solve proceeded through.
+    """
     w, V = np.linalg.eigh((H + H.T) * 0.5)
     cutoff = rcond * max(float(w[-1]), 0.0)
-    inv_w = np.where(w > cutoff, 1.0 / np.where(w > cutoff, w, 1.0), 0.0)
-    return (V * inv_w) @ V.T
+    keep = w > cutoff
+    inv_w = np.where(keep, 1.0 / np.where(keep, w, 1.0), 0.0)
+    return (V * inv_w) @ V.T, int(w.size - np.count_nonzero(keep))
+
+
+def _note_pinv_fallback(rank: int, n_truncated: int) -> None:
+    """Telemetry for one Cholesky→pinv fallback.
+
+    Counts always land in the active perf counters (a no-op without a
+    :func:`repro.perf.counters.counting` block); when the health
+    collector or event log is enabled, the fallback is additionally
+    attributed to the in-flight (iteration, mode) site the cp_als loop
+    registered.  Lazy imports keep the linalg layer observability-free
+    until a fallback actually fires.
+    """
+    _perf.record(pinv_fallbacks=1, truncated_eigenvalues=n_truncated)
+    from ..obs import events as _events
+    from ..obs import health as _health
+
+    iteration, mode = _health.current_site()
+    _health.record_fallback(n_truncated)
+    if _events.enabled():
+        message = (
+            f"normal-equation solve fell back to pseudoinverse "
+            f"({n_truncated}/{rank} eigenvalues truncated)"
+        )
+        if mode is not None:
+            message += f" in mode {mode}"
+        if iteration is not None:
+            message += f" at iteration {iteration}"
+        fields: dict = {
+            "message": message,
+            "metric": "pinv_fallback",
+            "n_truncated": n_truncated,
+        }
+        if iteration is not None:
+            fields["iteration"] = iteration
+        if mode is not None:
+            fields["mode"] = mode
+        _events.emit("warning", **fields)

@@ -56,6 +56,13 @@ Zero-dependency instrumentation for the engine/kernel/parallel stack:
   artifact directories (:class:`TraceArtifacts`): missing files are
   absent, malformed files warn and are skipped, consistently across
   ``report`` / ``dashboard`` / ``serve`` replay.
+* :mod:`repro.obs.health` — per-iteration numerical-health telemetry:
+  Gram conditioning (condition number + truncated eigenvalues per
+  mode), relative factor deltas, cross-mode column congruence
+  (swamp detection), and a converging/stalled/swamped fit-trajectory
+  classifier, persisted as a ``repro-health/v1`` artifact
+  (``health.json``).  Enabled via :func:`health.enable`,
+  ``REPRO_TRACE=1``, or ``REPRO_HEALTH=1``.
 
 Quickstart::
 
@@ -73,11 +80,13 @@ or, from the shell, ``repro trace decompose data.tns --rank 16``.
 from __future__ import annotations
 
 from . import artifacts, attribution, dashboard, events, export, history
-from . import memory, profiler, runctx, serve, trace, utilization
+from . import health, memory, profiler, runctx, serve, trace, utilization
 from .artifacts import TraceArtifacts
 from .attribution import AttributionReading, AttributionRecorder
 from .buildinfo import build_info, git_revision, version_string
 from .events import EventLog, RunState
+from .health import (FactorDeltaTracker, HealthCollector, HealthReading,
+                     validate_health_artifact, write_health)
 from .history import BenchEntry, BenchHistory, DiffResult, compare
 from .memory import MemReading, MemTracker
 from .metrics import MetricsRegistry, metrics, registry
@@ -91,9 +100,11 @@ from .utilization import UtilizationReport, utilization_from_spans
 __all__ = [
     "export", "trace", "watchdog", "memory", "history", "dashboard",
     "events", "serve", "utilization", "attribution", "explain", "runctx",
-    "profiler", "artifacts",
+    "profiler", "artifacts", "health",
     "TraceArtifacts",
     "ProfileStore", "validate_profile_artifact", "write_profile",
+    "HealthCollector", "HealthReading", "FactorDeltaTracker",
+    "validate_health_artifact", "write_health",
     "RunContext", "RunRegistry", "run_registry",
     "AttributionReading", "AttributionRecorder",
     "PlanExplanation", "explain_plan", "validate_plan_artifact",

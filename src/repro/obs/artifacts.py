@@ -31,6 +31,7 @@ FILENAMES = {
     "attribution": "attribution.json",
     "profile": "profile.json",
     "machine": "machine.json",
+    "health": "health.json",
 }
 
 _MISSING = object()
@@ -136,3 +137,23 @@ class TraceArtifacts:
     def machine(self) -> dict | None:
         """The ``repro-machine/v1`` calibration snapshot."""
         return self._load("machine", self._load_json)
+
+    def health(self) -> dict | None:
+        """The ``repro-health/v1`` document, if the run recorded one.
+
+        Pre-health trace dirs simply lack the file (``None``); a
+        present-but-wrong schema tag is treated as malformed and skipped
+        with a warning, like any other parse failure.
+        """
+        doc = self._load("health", self._load_json)
+        if doc is not None:
+            from .health import HEALTH_SCHEMA
+
+            schema = doc.get("schema") if isinstance(doc, dict) else None
+            if schema != HEALTH_SCHEMA:
+                self._cache["health"] = None
+                return self._skip(
+                    "health",
+                    ValueError(f"schema {schema!r} != {HEALTH_SCHEMA!r}"),
+                )
+        return doc

@@ -27,6 +27,10 @@ file a reviewer can open without a server, a JS bundle, or network access:
   frames`` stacks of a ``repro-profile/v1`` document, plus the top
   hotspots table; trace dirs recorded before the profiler existed get an
   explicit "no profile captured" note instead of a broken section;
+* **numerical-health panel** — per-iteration worst-mode condition number
+  on a log axis with Cholesky&rarr;pinv fallback markers, the component
+  congruence sparkline (swamp indicator), and the trajectory/fallback
+  summary table from a ``repro-health/v1`` document (``health.json``);
 * **trace summaries** — the per-kind aggregate table and span tree of a
   saved JSONL trace.
 
@@ -38,6 +42,7 @@ from __future__ import annotations
 
 import html
 import json
+import math
 import os
 
 from .buildinfo import build_info
@@ -696,6 +701,152 @@ def _profile_section(doc: dict) -> str:
     return "".join(parts)
 
 
+def _condition_chart(readings: list[dict], *, width: int = 640,
+                     height: int = 160) -> str:
+    """Log-scale worst-mode κ(H) per iteration, pinv fallbacks marked.
+
+    Iterations whose worst mode was outright singular (condition number
+    serialized as null) are drawn as markers pinned to the top edge.
+    """
+    points: list[tuple[int, float | None]] = []
+    fallback_iters: set[int] = set()
+    for row in readings:
+        conds = [c for c in row.get("condition_numbers", [])
+                 if isinstance(c, (int, float)) and c > 0]
+        points.append((int(row.get("iteration", len(points))),
+                       max(conds) if conds else None))
+        if int(row.get("pinv_fallbacks", 0) or 0) > 0:
+            fallback_iters.add(int(row.get("iteration", len(points) - 1)))
+    finite = [v for _, v in points if v is not None]
+    if not finite:
+        return ""
+    pad = 28
+    logs = [math.log10(v) for v in finite]
+    lo = min(min(logs), 0.0)
+    hi = max(max(logs), lo + 1.0)
+    span = hi - lo
+    n = len(points)
+
+    def xy(i: int, v: float | None) -> tuple[float, float]:
+        x = pad + (width - 2 * pad) * (i / max(n - 1, 1))
+        if v is None:  # singular: pin to the top edge
+            return x, pad
+        y = pad + (height - 2 * pad) * (1.0 - (math.log10(v) - lo) / span)
+        return x, y
+
+    parts = []
+    # Decade gridlines with 10^k labels.
+    for k in range(int(math.floor(lo)), int(math.ceil(hi)) + 1):
+        if not lo <= k <= hi:
+            continue
+        y = pad + (height - 2 * pad) * (1.0 - (k - lo) / span)
+        parts.append(
+            f'<line x1="{pad}" y1="{y:.1f}" x2="{width - pad}" '
+            f'y2="{y:.1f}" stroke="{_GRID}" stroke-width="1"/>'
+            f'<text x="2" y="{y + 4:.1f}" font-size="10" '
+            f'fill="currentColor">1e{k}</text>'
+        )
+    pts = " ".join(
+        f"{x:.1f},{y:.1f}"
+        for x, y in (xy(i, v) for i, (_, v) in enumerate(points))
+    )
+    parts.append(
+        f'<polyline points="{pts}" fill="none" stroke="{_SERIES_1}" '
+        'stroke-width="2"/>'
+    )
+    for i, (iteration, v) in enumerate(points):
+        x, y = xy(i, v)
+        if v is None:
+            parts.append(
+                f'<text x="{x - 4:.1f}" y="{y:.1f}" font-size="11" '
+                f'fill="{_SERIES_2}"><title>iteration {iteration}: '
+                'singular Gram</title>&#215;</text>'
+            )
+        if iteration in fallback_iters:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="4" '
+                f'fill="{_SERIES_2}"><title>iteration {iteration}: '
+                'Cholesky&rarr;pinv fallback</title></circle>'
+            )
+    title = (f"worst-mode condition number per iteration (log scale), "
+             f"{len(fallback_iters)} iterations with pinv fallbacks")
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img" '
+        f'aria-label="{html.escape(title)}">'
+        f"<title>{html.escape(title)}</title>" + "".join(parts) + "</svg>"
+    )
+
+
+def _health_section(doc: dict) -> str:
+    """Panel from a ``repro-health/v1`` document."""
+    readings = doc.get("readings", [])
+    if not readings:
+        return "<p class='meta'>(health artifact holds no readings)</p>"
+    last = readings[-1]
+    parts = [
+        f"<p class='meta'>{doc.get('n_iterations', 0)} iterations &middot; "
+        f"final trajectory: <strong>"
+        f"{html.escape(str(doc.get('final_trajectory') or 'n/a'))}</strong> "
+        f"&middot; {doc.get('total_pinv_fallbacks', 0)} pinv fallbacks "
+        f"&middot; {doc.get('total_truncated_eigenvalues', 0)} truncated "
+        f"eigenvalues (rcond {doc.get('rcond', 0):g})</p>",
+    ]
+    chart = _condition_chart(readings)
+    if chart:
+        parts.append(
+            '<p class="legend">worst-mode &kappa;(H) per iteration, log '
+            f'axis; <span class="swatch" style="background:{_SERIES_2}">'
+            "</span>marks iterations with Cholesky&rarr;pinv fallbacks"
+            "</p>"
+        )
+        parts.append(chart)
+    congruences = [r.get("congruence") for r in readings]
+    congruences = [c for c in congruences if isinstance(c, (int, float))]
+    if congruences:
+        parts.append(
+            f"<p class='legend'>component congruence (&rarr;1 signals a "
+            f"swamp): last {congruences[-1]:.4f} "
+            + _sparkline(congruences) + "</p>"
+        )
+    rows = []
+    for row in readings[-10:]:
+        conds = [c for c in row.get("condition_numbers", [])
+                 if isinstance(c, (int, float))]
+        deltas = [d for d in row.get("factor_deltas", [])
+                  if isinstance(d, (int, float))]
+        congruence = row.get("congruence")
+        rows.append(
+            "<tr>"
+            f'<td class="num">{row.get("iteration")}</td>'
+            + (f'<td class="num">{max(conds):.3e}</td>' if conds
+               else '<td class="num">singular</td>')
+            + f'<td class="num">'
+              f'{sum(int(t) for t in row.get("truncated_eigenvalues", []))}'
+              "</td>"
+            + (f'<td class="num">{max(deltas):.3e}</td>' if deltas
+               else '<td class="num">-</td>')
+            + (f'<td class="num">{congruence:.4f}</td>'
+               if isinstance(congruence, (int, float))
+               else '<td class="num">-</td>')
+            + f'<td class="num">{row.get("pinv_fallbacks", 0)}</td>'
+            f"<td>{html.escape(str(row.get('trajectory', '?')))}</td></tr>"
+        )
+    parts.append(
+        "<table><thead><tr><th>iter</th><th>max &kappa;(H)</th>"
+        "<th>trunc</th><th>max &Delta;U/U</th><th>congruence</th>"
+        "<th>pinv</th><th>trajectory</th></tr></thead><tbody>"
+        + "".join(rows) + "</tbody></table>"
+    )
+    if last.get("congruence_pair"):
+        pair = last["congruence_pair"]
+        parts.append(
+            f"<p class='meta'>most congruent component pair at the final "
+            f"iteration: ({pair[0]}, {pair[1]})</p>"
+        )
+    return "".join(parts)
+
+
 def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      diffs: list[DiffResult] | None = None,
                      memory_readings: list[dict] | None = None,
@@ -706,6 +857,7 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
                      attribution: dict | None = None,
                      roofline: dict | None = None,
                      profile: dict | None = None,
+                     health: dict | None = None,
                      title: str = "repro dashboard") -> str:
     """Assemble the full self-contained HTML document (returns the string)."""
     info = build_info()
@@ -744,6 +896,10 @@ def render_dashboard(*, history_entries: list[BenchEntry] | None = None,
         parts.append("<h2>Roofline: achieved throughput vs machine "
                      "ceilings</h2>")
         parts.append(_roofline_section(roofline))
+    if health is not None:
+        parts.append("<h2>Numerical health: conditioning, congruence, "
+                     "trajectory</h2>")
+        parts.append(_health_section(health))
     if profile is not None:
         parts.append("<h2>Sampling profiler: span-joined icicle</h2>")
         parts.append(_profile_section(profile))

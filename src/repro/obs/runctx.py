@@ -39,6 +39,7 @@ from contextlib import contextmanager
 
 from . import _ctx
 from . import events as _events_mod
+from . import health as _health_mod
 from . import memory as _memory_mod
 from . import profiler as _profiler_mod
 from . import trace as _trace_mod
@@ -65,17 +66,18 @@ class RunContext:
     """
 
     __slots__ = ("run_id", "tracer", "events", "metrics", "memory",
-                 "profiler", "trace_enabled", "events_enabled",
-                 "mem_enabled", "profile_enabled",
+                 "profiler", "health", "trace_enabled", "events_enabled",
+                 "mem_enabled", "profile_enabled", "health_enabled",
                  "created_at", "finished_at", "status", "meta")
 
     def __init__(self, run_id: str | None = None, *,
                  tracer=None, events=None, metrics=None, memory=None,
-                 profiler=None,
+                 profiler=None, health=None,
                  trace_enabled: bool | None = None,
                  events_enabled: bool | None = None,
                  mem_enabled: bool | None = None,
                  profile_enabled: bool | None = None,
+                 health_enabled: bool | None = None,
                  meta: dict | None = None):
         self.run_id = run_id or new_run_id()
         self.tracer = tracer
@@ -83,10 +85,12 @@ class RunContext:
         self.metrics = metrics
         self.memory = memory
         self.profiler = profiler
+        self.health = health
         self.trace_enabled = trace_enabled
         self.events_enabled = events_enabled
         self.mem_enabled = mem_enabled
         self.profile_enabled = profile_enabled
+        self.health_enabled = health_enabled
         self.created_at = time.time()
         self.finished_at: float | None = None
         self.status = "created"
@@ -102,7 +106,8 @@ class RunContext:
     @classmethod
     def scoped(cls, run_id: str | None = None, *,
                trace: bool = False, events: bool = True, mem: bool = False,
-               profile: bool = False, profile_hz: float | None = None,
+               profile: bool = False, health: bool = False,
+               profile_hz: float | None = None,
                sink_path: str | None = None, events_maxlen: int = 4096,
                **meta) -> "RunContext":
         """A context with fresh, fully isolated instruments.
@@ -122,10 +127,12 @@ class RunContext:
             memory=_memory_mod.MemTracker(),
             profiler=(_profiler_mod.ProfileStore(hz=profile_hz)
                       if profile else None),
+            health=_health_mod.HealthCollector(),
             trace_enabled=trace,
             events_enabled=events,
             mem_enabled=mem,
             profile_enabled=profile,
+            health_enabled=health,
             meta=meta,
         )
 
@@ -148,6 +155,7 @@ class RunContext:
             "events_enabled": self.events_enabled,
             "mem_enabled": self.mem_enabled,
             "profile_enabled": self.profile_enabled,
+            "health_enabled": self.health_enabled,
             "meta": self.meta,
         }
         if self.events is not None:

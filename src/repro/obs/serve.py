@@ -520,6 +520,44 @@ def load_trace_dir(trace_dir: str) -> dict:
             )
             loaded["gauges"] += 1
 
+    # Numerical-health gauges from health.json: the final iteration's
+    # conditioning/congruence state plus run totals, so a replayed
+    # /metrics carries the same repro_health_* families as a live run.
+    health_doc = arts.health()
+    if health_doc is not None:
+        from .health import TRAJECTORY_CODES
+
+        found = True
+        readings = health_doc.get("readings", [])
+        if readings:
+            last = readings[-1]
+            conds = [c for c in last.get("condition_numbers", [])
+                     if c is not None]
+            if conds:
+                _registry.set_gauge("health.max_condition_number",
+                                    max(conds))
+                loaded["gauges"] += 1
+            deltas = [d for d in last.get("factor_deltas", [])
+                      if d is not None]
+            if deltas:
+                _registry.set_gauge("health.max_factor_delta", max(deltas))
+                loaded["gauges"] += 1
+            if last.get("congruence") is not None:
+                _registry.set_gauge("health.congruence",
+                                    float(last["congruence"]))
+                loaded["gauges"] += 1
+            code = TRAJECTORY_CODES.get(last.get("trajectory"))
+            if code is not None:
+                _registry.set_gauge("health.trajectory_code", code)
+                loaded["gauges"] += 1
+        _registry.set_gauge(
+            "health.total_pinv_fallbacks",
+            int(health_doc.get("total_pinv_fallbacks", 0)))
+        _registry.set_gauge(
+            "health.total_truncated_eigenvalues",
+            int(health_doc.get("total_truncated_eigenvalues", 0)))
+        loaded["gauges"] += 2
+
     if not found:
         raise FileNotFoundError(
             f"no trace artifacts (trace.jsonl / metrics.json / "

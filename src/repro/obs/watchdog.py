@@ -19,6 +19,13 @@ CP-ALS iteration, along two axes:
   baseline measured/predicted ratio, and later iterations fire only when
   the ratio diverges from that baseline by more than the band.  Short
   predictions (where timer noise dominates) are skipped.
+* **numerical health** — the worst per-mode Gram condition number from a
+  :class:`repro.obs.health.HealthReading`, expressed as a *truncation
+  margin* ``κ(H) * PINV_RCOND`` (1.0 means the pseudoinverse fallback is
+  already discarding eigenvalues).  The band fires when a run's normal
+  equations drift toward the singular regime, with the worst-conditioned
+  mode named as the blame — the numerical analogue of the node blame the
+  cost-attribution axis provides.
 * **memory drift** — measured peak memoized-value bytes (a
   :class:`repro.obs.memory.MemReading` from the engine-fed tracker)
   versus the model's ``peak_value_bytes``.  Symbolic byte counts are
@@ -38,9 +45,11 @@ E5 model-accuracy experiment.
 from __future__ import annotations
 
 import logging
+import math
 import warnings
 from dataclasses import dataclass, field
 
+from ..linalg.solve import PINV_RCOND
 from ..model.cost import CostReport
 from ..perf.counters import Counters
 from . import events as _events
@@ -83,6 +92,11 @@ class ModelDriftWarning(UserWarning):
                 + (f" (rebuilt in mode {mode})" if mode is not None else "")
                 + (f": {detail}" if detail else "")
             )
+        elif mode is not None:
+            msg += (
+                f"; worst mode {mode}"
+                + (f": {detail}" if detail else "")
+            )
         super().__init__(msg)
 
 
@@ -107,6 +121,9 @@ class DriftReading:
     mem_traced_ratio: float | None = None
     measured_peak_bytes: int | None = None
     predicted_peak_bytes: int | None = None
+    #: worst Gram condition number times ``PINV_RCOND``, clamped to 1.0
+    #: (None without a health reading).  1.0 = singular / truncating.
+    condition_margin: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -147,6 +164,13 @@ class DriftWatchdog:
         ``total_memory_bytes`` (values + index structures).  Wide by
         default: tracemalloc sees every allocation in the process, so
         this only flags runaway allocator overhead.
+    condition_band:
+        allowed truncation margin ``κ(H) * PINV_RCOND`` of the worst-mode
+        Gram system, checked when a health reading accompanies the
+        iteration.  The default upper bound 1e-2 fires once the condition
+        number comes within two decades of the pseudoinverse cutoff
+        (κ >= 1e10 at the default rcond) — close enough to the singular
+        regime that factor updates are numerically suspect.
     warn:
         emit :class:`ModelDriftWarning` + log records on excursions
         (metrics gauges are recorded either way).
@@ -160,6 +184,7 @@ class DriftWatchdog:
                  mem_band: tuple[float, float] = (1.0, 1.0),
                  mem_warmup: int = 1,
                  mem_traced_band: tuple[float, float] = (0.0, 8.0),
+                 condition_band: tuple[float, float] = (0.0, 1e-2),
                  warn: bool = True):
         self.cost = cost
         self.work_band = work_band
@@ -169,13 +194,15 @@ class DriftWatchdog:
         self.mem_band = mem_band
         self.mem_warmup = max(int(mem_warmup), 0)
         self.mem_traced_band = mem_traced_band
+        self.condition_band = condition_band
         self.warn = warn
         self.readings: list[DriftReading] = []
         self._warmup_ratios: list[float] = []
         self.time_baseline: float | None = None
 
     def observe(self, iteration: int, counters: Counters,
-                seconds: float, mem=None, attribution=None) -> DriftReading:
+                seconds: float, mem=None, attribution=None,
+                health=None) -> DriftReading:
         """Compare one iteration's measurements against the model.
 
         ``mem`` is an optional :class:`repro.obs.memory.MemReading` for
@@ -184,7 +211,10 @@ class DriftWatchdog:
         optional :class:`repro.obs.attribution.AttributionReading` for the
         iteration; when given, work/time excursions are localized to the
         worst-offending tree node and its rebuild mode instead of flagging
-        the whole iteration.
+        the whole iteration.  ``health`` is an optional
+        :class:`repro.obs.health.HealthReading`; when given, the worst
+        per-mode Gram condition number joins the banded checks as a
+        truncation margin, blaming the worst-conditioned mode.
         """
         cost = self.cost
         flops_ratio = _ratio(counters.flops, cost.flops_per_iteration)
@@ -198,6 +228,14 @@ class DriftWatchdog:
                     self.time_baseline = _median(self._warmup_ratios)
             else:
                 time_rel = time_ratio / self.time_baseline
+        condition_margin = None
+        if health is not None:
+            max_cond = health.max_condition_number
+            if isinstance(max_cond, (int, float)) and not math.isnan(
+                    max_cond):
+                # A singular Gram (inf) clamps to margin 1.0: "the
+                # pseudoinverse is already truncating".
+                condition_margin = min(max_cond * PINV_RCOND, 1.0)
         mem_ratio = mem_traced_ratio = None
         if mem is not None and iteration >= self.mem_warmup:
             if cost.peak_value_bytes > 0:
@@ -221,6 +259,7 @@ class DriftWatchdog:
                 mem.measured_peak_bytes if mem is not None else None
             ),
             predicted_peak_bytes=cost.peak_value_bytes,
+            condition_margin=condition_margin,
         )
         checks = [
             ("flops", flops_ratio, self.work_band),
@@ -235,10 +274,15 @@ class DriftWatchdog:
         if mem_traced_ratio is not None:
             checks.append(("mem_traced", mem_traced_ratio,
                            self.mem_traced_band))
+        if condition_margin is not None:
+            checks.append(("condition", condition_margin,
+                           self.condition_band))
+        _GAUGE_NAMES = {"time": "drift.time_rel",
+                        "condition": "drift.condition_margin"}
         for metric, ratio, band in checks:
-            _metrics.set_gauge(f"drift.{metric}_ratio"
-                               if metric != "time" else "drift.time_rel",
-                               ratio)
+            _metrics.set_gauge(
+                _GAUGE_NAMES.get(metric, f"drift.{metric}_ratio"), ratio
+            )
             if not band[0] <= ratio <= band[1]:
                 reading.fired.append(metric)
                 _metrics.incr("drift.warnings")
@@ -249,6 +293,12 @@ class DriftWatchdog:
                 node = blame.get("node") if blame else None
                 mode = blame.get("rebuild_mode") if blame else None
                 detail = blame.get("why") if blame else None
+                if metric == "condition" and health is not None:
+                    mode = health.worst_mode
+                    detail = (
+                        f"condition number {health.max_condition_number:.3e}"
+                        f" (rcond {PINV_RCOND:g})"
+                    )
                 message = (
                     f"model drift on {metric!r}: ratio {ratio:.3f} "
                     f"outside band [{band[0]:.2f}, {band[1]:.2f}]"
@@ -257,6 +307,11 @@ class DriftWatchdog:
                     message += (
                         f"; worst offender node {node}"
                         + (f" (mode {mode})" if mode is not None else "")
+                        + (f": {detail}" if detail else "")
+                    )
+                elif mode is not None:
+                    message += (
+                        f"; worst mode {mode}"
                         + (f": {detail}" if detail else "")
                     )
                 _events.emit(

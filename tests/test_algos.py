@@ -213,3 +213,72 @@ class TestRestarts:
     def test_select_rank_empty(self, planted):
         with pytest.raises(ValueError):
             select_rank(planted.tensor, ranks=[])
+
+
+class TestRestartEarlyStop:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        shape = (9, 8, 7)
+        return lowrank_tensor(shape, rank=2, nnz=int(np.prod(shape)),
+                              random_state=21)
+
+    def test_off_by_default(self, planted):
+        report = cp_als_restarts(
+            planted.tensor, rank=2, n_restarts=2, strategy="bdt",
+            n_iter_max=5, tol=0.0, random_state=0,
+        )
+        assert report.early_stops == {}
+        assert all(r.n_iterations == 5 for r in report.results)
+
+    def test_stalled_restarts_cut_short(self, planted):
+        # tol=0.0 disables cp_als's own convergence exit; the planted
+        # tensor is exactly rank 2, so every restart flat-lines quickly
+        # and the stall classifier should cut the iteration budget.
+        report = cp_als_restarts(
+            planted.tensor, rank=2, n_restarts=3, strategy="bdt",
+            n_iter_max=40, tol=0.0, random_state=0, early_stop=True,
+            early_stop_window=3,
+        )
+        assert report.early_stops
+        for index, record in report.early_stops.items():
+            assert record["reason"] in ("stalled", "swamped")
+            assert report.results[index].n_iterations <= 40
+            assert (report.results[index].n_iterations
+                    == record["iteration"] + 1)
+
+    def test_deterministic_and_same_seeds_as_full_run(self, planted):
+        kwargs = dict(rank=2, n_restarts=3, strategy="bdt", n_iter_max=25,
+                      tol=0.0, random_state=7)
+        full = cp_als_restarts(planted.tensor, **kwargs)
+        cut_a = cp_als_restarts(planted.tensor, early_stop=True, **kwargs)
+        cut_b = cp_als_restarts(planted.tensor, early_stop=True, **kwargs)
+        # Deterministic: two early-stop runs agree exactly.
+        assert cut_a.early_stops == cut_b.early_stops
+        assert cut_a.best_index == cut_b.best_index
+        assert cut_a.fits() == cut_b.fits()
+        # Seeds are drawn identically with or without the option: each
+        # restart's trajectory is a prefix of the full run's, so on this
+        # planted tensor the winner matches.
+        assert cut_a.best_index == full.best_index
+        assert cut_a.best.fit == pytest.approx(full.best.fit, abs=1e-6)
+
+    def test_user_callback_still_runs(self, planted):
+        seen = []
+        report = cp_als_restarts(
+            planted.tensor, rank=2, n_restarts=2, strategy="bdt",
+            n_iter_max=4, tol=0.0, random_state=1, early_stop=True,
+            callback=lambda i, fit, model: seen.append(i),
+        )
+        assert seen
+        assert len(report.results) == 2
+
+    def test_user_callback_stop_not_recorded(self, planted):
+        report = cp_als_restarts(
+            planted.tensor, rank=2, n_restarts=2, strategy="bdt",
+            n_iter_max=20, tol=0.0, random_state=2, early_stop=True,
+            early_stop_window=50,  # classifier effectively can't stall
+            callback=lambda i, fit, model: i >= 1,
+        )
+        # The user's stop fired, not the classifier's: nothing recorded.
+        assert report.early_stops == {}
+        assert all(r.n_iterations == 2 for r in report.results)

@@ -156,6 +156,78 @@ class TestSolve:
     def test_psd_pinv_zero_matrix(self):
         np.testing.assert_allclose(psd_pinv(np.zeros((3, 3))), 0.0)
 
+    def test_psd_pinv_rank_deficient(self):
+        # Rank-2 PSD with one exact-zero eigenvalue: the pinv must invert
+        # the range and annihilate the null space.
+        rng = np.random.default_rng(12)
+        B = rng.standard_normal((5, 2))
+        H = B @ B.T  # 5x5, rank 2
+        P = psd_pinv(H)
+        np.testing.assert_allclose(P @ H @ P, P, atol=1e-10)
+        np.testing.assert_allclose(H @ P @ H, H, atol=1e-10)
+
+    def test_psd_pinv_diagnosed_counts_truncations(self):
+        from repro.linalg.solve import PINV_RCOND, psd_pinv_diagnosed
+
+        H = np.diag([1.0, 1.0, 0.0])
+        pinv, n_truncated = psd_pinv_diagnosed(H)
+        assert n_truncated == 1
+        np.testing.assert_allclose(pinv, np.diag([1.0, 1.0, 0.0]))
+        # Eigenvalues just under the relative cutoff are truncated too.
+        H = np.diag([1.0, 0.5 * PINV_RCOND, 0.1 * PINV_RCOND])
+        _, n_truncated = psd_pinv_diagnosed(H)
+        assert n_truncated == 2
+        _, n_truncated = psd_pinv_diagnosed(np.eye(4))
+        assert n_truncated == 0
+
+    def test_fallback_records_perf_counters(self):
+        from repro.perf import counters as perf
+
+        H = np.array([[1.0, 1.0], [1.0, 1.0]])  # rank 1: Cholesky fails
+        M = np.array([[2.0, 2.0]])
+        with perf.counting() as c:
+            solve_normal_equations(M, H)
+        assert c.extra["pinv_fallbacks"] == 1
+        assert c.extra["truncated_eigenvalues"] >= 1
+
+    def test_cholesky_path_records_nothing(self):
+        from repro.perf import counters as perf
+
+        rng = np.random.default_rng(13)
+        H = gram(rng.random((8, 3))) + np.eye(3)
+        with perf.counting() as c:
+            solve_normal_equations(rng.random((5, 3)), H)
+        assert "pinv_fallbacks" not in c.extra
+
+    def test_fallback_emits_structured_warning_event(self):
+        from repro.obs import events as obs_events
+
+        H = np.zeros((3, 3))
+        H[0, 0] = 1.0
+        M = np.ones((4, 3))
+        with obs_events.logging_events() as log:
+            solve_normal_equations(M, H)
+        warnings_ = [e for e in log.tail() if e["kind"] == "warning"]
+        assert len(warnings_) == 1
+        event = warnings_[0]
+        assert event["metric"] == "pinv_fallback"
+        assert event["n_truncated"] == 2
+        assert "pseudoinverse" in event["message"]
+
+    def test_fallback_site_attribution(self):
+        from repro.obs import health
+
+        H = np.array([[1.0, 1.0], [1.0, 1.0]])
+        M = np.array([[2.0, 2.0]])
+        with health.collecting() as hc:
+            health.set_site(4, 1)
+            try:
+                solve_normal_equations(M, H)
+            finally:
+                health.clear_site()
+        assert hc.fallback_sites == [(4, 1)]
+        assert hc.total_pinv_fallbacks == 1
+
 
 class TestNorms:
     def test_column_norms_orders(self):
